@@ -1,0 +1,36 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one table or figure of the paper.  The
+quantity of interest is *simulated* time (the cluster's clock), not the
+harness's wall time; pytest-benchmark wraps the simulation run so
+``--benchmark-only`` reports harness cost, while the reproduced numbers
+are printed as tables and saved as JSON under ``benchmarks/results/``
+for EXPERIMENTS.md.
+"""
+
+import json
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def results_sink():
+    """Save a named result payload to benchmarks/results/<name>.json."""
+
+    def _save(name, payload):
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"{name}.json")
+        with open(path, "w") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+        return path
+
+    return _save
+
+
+def emit(title, text):
+    """Print a reproduced table under a banner (shows with pytest -s)."""
+    bar = "=" * len(title)
+    print(f"\n{title}\n{bar}\n{text}\n")

@@ -1,0 +1,69 @@
+"""Fig. 1 — latency and message-rate microbenchmark, three interfaces.
+
+Paper: "using LCI significantly reduces the overhead of the communication
+by up to a factor of 3.5x in comparison to probe", with interface
+ordering queue < no-probe < probe for latency, and MPI message rates
+tapering with thread count while LCI's keep rising.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.bench.micro import MICRO_INTERFACES, message_rate, pingpong_latency
+from repro.bench.report import format_table
+
+SIZES = [8, 64, 512, 4096, 16384, 65536]
+THREADS = [1, 2, 4, 8, 16, 32, 64]
+
+
+def run_fig1():
+    latency_rows = []
+    for size in SIZES:
+        row = {"msg_bytes": size}
+        for iface in MICRO_INTERFACES:
+            row[iface + "_us"] = round(
+                pingpong_latency(iface, size, iters=30) * 1e6, 3
+            )
+        row["probe/queue"] = round(row["probe_us"] / row["queue_us"], 2)
+        latency_rows.append(row)
+
+    rate_rows = []
+    for t in THREADS:
+        row = {"threads": t}
+        for iface in MICRO_INTERFACES:
+            row[iface + "_Mmsg/s"] = round(
+                message_rate(iface, t, window=16) / 1e6, 3
+            )
+        rate_rows.append(row)
+    return latency_rows, rate_rows
+
+
+def test_fig1_microbenchmarks(benchmark, results_sink):
+    latency_rows, rate_rows = benchmark.pedantic(
+        run_fig1, rounds=1, iterations=1
+    )
+    emit("Fig 1a: one-way latency (us) vs message size",
+         format_table(latency_rows))
+    emit("Fig 1b: message rate (M msg/s) vs threads per host",
+         format_table(rate_rows))
+    results_sink("fig1_microbench", {
+        "latency": latency_rows, "rate": rate_rows,
+    })
+
+    # --- shape assertions (the paper's qualitative claims) -------------
+    for row in latency_rows:
+        # queue is the fastest interface at every size...
+        assert row["queue_us"] < row["no-probe_us"] < row["probe_us"] * 1.05
+    # ...with a significant factor over probe for small messages.
+    small = latency_rows[0]
+    assert small["probe/queue"] > 1.5
+
+    # Message rate: LCI above both MPI modes everywhere.
+    for row in rate_rows:
+        assert row["queue_Mmsg/s"] > row["no-probe_Mmsg/s"]
+        assert row["queue_Mmsg/s"] > row["probe_Mmsg/s"]
+    # MPI-probe tapers off at high thread counts; LCI keeps rising.
+    probe_rates = [r["probe_Mmsg/s"] for r in rate_rows]
+    queue_rates = [r["queue_Mmsg/s"] for r in rate_rows]
+    assert probe_rates[-1] < max(probe_rates)
+    assert queue_rates[-1] == max(queue_rates)

@@ -1,0 +1,110 @@
+"""Fig. 5 — communication-buffer memory footprint: LCI vs MPI-RMA.
+
+Paper: "The memory footprint of LCI is much smaller for all applications
+on all hosts than MPI-RMA.  Due to its design, LCI can quickly recycle
+buffers ...  Maximum and minimum memory footprints for MPI-RMA are close
+to each other.  The memory usage of MPI-RMA can be up to an order of
+magnitude higher than that of LCI because MPI-RMA has to preallocate all
+buffers with a size that is the upper-bound of memory required for
+communication."
+
+Footprints count the memory allocated by the runtime's own communication
+buffers (the paper likewise excludes MPI-internal memory): for LCI the
+fixed packet pool plus transient gather/landing buffers, for MPI-RMA the
+preallocated worst-case windows plus gather staging held across each
+access epoch.
+
+Scale note (recorded in EXPERIMENTS.md): the paper's 10x gap arises
+because at kron30 scale the data-driven per-round volume is a small
+fraction of the all-nodes-active worst case the windows are sized for.
+At the harness's reduced scale a single peak round communicates a large
+fraction of every sync pair, so actual transient volume approaches the
+worst case and the ratio compresses to ~1.3-2x.  The *invariants* are
+preserved and asserted: RMA exceeds LCI on every host for every app, the
+gap is structural (windows vs pool+transients — also printed as a
+diagnostic), RMA's footprint is flat across hosts while LCI's varies
+with data, and LCI gives up no performance for the memory win.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.bench.report import format_table
+from repro.bench.scenarios import Scenario, run_scenario
+from repro.comm.rma_layer import worst_case_blob_bytes
+
+HOSTS = 16
+SCALE = 17
+APPS = ["bfs", "cc", "pagerank", "sssp"]
+
+#: Scale-reduced pool geometry: the pool stays "a small constant times
+#: the number of hosts" in packets, with packet bytes shrunk with the
+#: graph so the pool does not dwarf the scaled-down windows.
+POOL_KW = dict(
+    lci_pool_packets_per_host=2,
+    lci_packet_bytes=1024,
+    lci_pool_packets_min=16,
+)
+
+
+def run_fig5():
+    out = {}
+    for app in APPS:
+        for layer in ("lci", "mpi-rma"):
+            sc = Scenario(
+                app=app, graph="kron", scale=SCALE, hosts=HOSTS,
+                layer=layer, system="abelian", pagerank_rounds=10,
+                **(POOL_KW if layer == "lci" else {}),
+            )
+            out[(app, layer)] = run_scenario(sc)
+    return out
+
+
+def test_fig5_memory_footprint(benchmark, results_sink):
+    results = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
+    rows = []
+    for app in APPS:
+        lci = results[(app, "lci")]
+        rma = results[(app, "mpi-rma")]
+        rows.append({
+            "app": app,
+            "lci_min_KiB": round(lci.min_footprint / 1024, 1),
+            "lci_max_KiB": round(lci.max_footprint / 1024, 1),
+            "rma_min_KiB": round(rma.min_footprint / 1024, 1),
+            "rma_max_KiB": round(rma.max_footprint / 1024, 1),
+            "rma/lci(max)": round(rma.max_footprint / lci.max_footprint, 2),
+        })
+    emit(
+        f"Fig 5: comm-buffer memory footprint, kron{SCALE} @ {HOSTS} hosts "
+        "(max / min across hosts)",
+        format_table(rows),
+    )
+    results_sink("fig5_memory", rows)
+
+    for app in APPS:
+        lci = results[(app, "lci")]
+        rma = results[(app, "mpi-rma")]
+        # RMA's footprint exceeds LCI's on every host, for every app.
+        assert lci.max_footprint < rma.max_footprint, app
+        assert lci.min_footprint < rma.min_footprint, app
+        # RMA is structurally flat across hosts relative to LCI, whose
+        # footprint is data-dependent (recycled transients).
+        rma_spread = rma.max_footprint / rma.min_footprint
+        lci_spread = lci.max_footprint / lci.min_footprint
+        assert rma_spread < lci_spread * 1.1, app
+        # The memory win costs no performance.
+        assert lci.total_seconds <= rma.total_seconds * 1.05, app
+
+    # The structural gap (preallocated worst case vs fixed pool): compare
+    # the window bytes RMA preallocates against LCI's entire pool.
+    any_lci = results[("bfs", "lci")]
+    any_rma = results[("bfs", "mpi-rma")]
+    pool_bytes = POOL_KW["lci_pool_packets_min"] * POOL_KW["lci_packet_bytes"]
+    # Windows alone (min across hosts) dwarf the whole LCI pool.
+    assert any_rma.min_footprint > 4 * pool_bytes
+    emit(
+        "Fig 5 structural diagnostic",
+        f"LCI fixed pool: {pool_bytes / 1024:.0f} KiB/host; MPI-RMA "
+        f"preallocation (min host): {any_rma.min_footprint / 1024:.0f} KiB "
+        f"— the worst-case-window vs fixed-pool gap of the paper.",
+    )

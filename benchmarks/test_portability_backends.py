@@ -1,0 +1,74 @@
+"""Portability — LCI over psm2 / ibverbs / libfabric backends.
+
+Paper (Section IV-B3 and conclusions): "LCI and its performance is
+portable to other NICs ... We have implemented LCI on top of ibverbs,
+psm2, and Libfabric".  This bench runs the same Abelian workload with
+LCI on each backend and on both machine models, asserting that backend
+choice perturbs performance only mildly — and that LCI beats MPI-Probe
+on *every* backend (portability of the win, not just of the code).
+"""
+
+import pytest
+
+from conftest import emit
+from repro.bench.report import format_table
+from repro.bench.scenarios import Scenario, run_scenario
+from repro.apps import make_app
+from repro.engine import BspEngine, EngineConfig
+from repro.graph.generators import make_graph
+from repro.lci.backends import BACKENDS
+from repro.lci.config import LciConfig
+from repro.sim.machine import PRESETS
+
+HOSTS = 32
+SCALE = 12
+
+
+def run_backend(backend: str, machine: str):
+    graph = make_graph("kron", SCALE, seed=1)
+    app = make_app("pagerank", max_rounds=10, tol=1e-12)
+    cfg = EngineConfig(
+        num_hosts=HOSTS, machine=PRESETS[machine], layer="lci",
+        layer_kwargs={"lci_config": LciConfig(backend=backend)},
+    )
+    return BspEngine(graph, app, cfg).run()
+
+
+def test_portability_backends(benchmark, results_sink):
+    def run_all():
+        out = {}
+        for machine in ("stampede2", "stampede1"):
+            for backend in sorted(BACKENDS):
+                out[(machine, backend)] = run_backend(backend, machine)
+            probe = Scenario(
+                app="pagerank", graph="kron", scale=SCALE, hosts=HOSTS,
+                layer="mpi-probe", machine=machine, pagerank_rounds=10,
+            )
+            out[(machine, "mpi-probe")] = run_scenario(probe)
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for machine in ("stampede2", "stampede1"):
+        row = {"machine": machine}
+        for backend in sorted(BACKENDS):
+            row[backend + "_ms"] = round(
+                results[(machine, backend)].total_seconds * 1e3, 3
+            )
+        row["mpi-probe_ms"] = round(
+            results[(machine, "mpi-probe")].total_seconds * 1e3, 3
+        )
+        rows.append(row)
+    emit(f"Portability: LCI backends, pagerank kron{SCALE} @ {HOSTS} hosts",
+         format_table(rows))
+    results_sink("portability_backends", rows)
+
+    for machine in ("stampede2", "stampede1"):
+        times = [
+            results[(machine, b)].total_seconds for b in sorted(BACKENDS)
+        ]
+        # Backend choice is a second-order effect (< 25% spread)...
+        assert max(times) < 1.25 * min(times), machine
+        # ...and LCI beats MPI-Probe on every backend.
+        probe = results[(machine, "mpi-probe")].total_seconds
+        assert all(t < probe for t in times), machine

@@ -1,0 +1,62 @@
+"""Table I — inputs and their key properties.
+
+Paper's table (at full scale):
+
+              clueweb12   kron30    rmat28
+|V|           978M        1073M     268M
+|E|           42.57B      10.79B    4.29B
+|E|/|V|       44          10        16
+max D_out     7,447       3.2M      4M
+max D_in      75M         3.2M      0.3M
+
+The harness regenerates the same three families at reduced scale and
+checks the *structural* signatures: the E/V ratios, kron's symmetric
+degree extremes, rmat's skew, and clueweb's giant in/out-degree
+asymmetry (max D_in orders of magnitude above max D_out).
+"""
+
+import pytest
+
+from conftest import emit
+from repro.bench.report import format_table
+from repro.graph.generators import kron, rmat, webcrawl
+from repro.graph.properties import graph_properties
+
+SCALE = 14
+
+
+def build_inputs():
+    graphs = {
+        "clueweb12 (webcrawl)": webcrawl(SCALE, seed=3),
+        "kron30 (kron)": kron(SCALE, seed=2),
+        "rmat28 (rmat)": rmat(SCALE, seed=1),
+    }
+    return {name: graph_properties(g) for name, g in graphs.items()}
+
+
+def test_table1_input_properties(benchmark, results_sink):
+    props = benchmark.pedantic(build_inputs, rounds=1, iterations=1)
+    rows = [p.as_row() | {"graph": name} for name, p in props.items()]
+    emit(f"Table I: inputs and key properties (scale {SCALE})",
+         format_table(rows))
+    results_sink("table1_inputs", rows)
+
+    web = props["clueweb12 (webcrawl)"]
+    kr = props["kron30 (kron)"]
+    rm = props["rmat28 (rmat)"]
+
+    # E/V ordering matches the paper: clueweb (44) > rmat (16) > kron (10).
+    assert web.avg_degree > rm.avg_degree > kr.avg_degree
+
+    # kron is symmetric: identical max in/out degree (3.2M / 3.2M).
+    assert kr.max_in_degree == kr.max_out_degree
+
+    # rmat's max out-degree dwarfs its max in-degree (4M vs 0.3M).
+    assert rm.max_out_degree > 3 * rm.max_in_degree
+
+    # clueweb: hub pages give max D_in >> max D_out (75M vs 7.4K).
+    assert web.max_in_degree > 20 * web.max_out_degree
+
+    # All are heavy-tailed: max degree far above the mean.
+    for p in (web, kr, rm):
+        assert max(p.max_in_degree, p.max_out_degree) > 10 * p.avg_degree

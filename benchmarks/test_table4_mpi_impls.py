@@ -1,0 +1,85 @@
+"""Table IV — other MPI implementations vs LCI.
+
+Paper: "we ran some experiments using OpenMPI (commit f9b157) and
+MVAPICH 2.3b ... The results show that LCI remains the winner
+compared to other MPI implementations.  There is no clear winner between
+different MPI implementations, though IntelMPI-RMA performs best in the
+majority of cases.  LCI is again closest in performance to RMA
+implementations, and is better if we include time for window creation in
+the result."
+"""
+
+import pytest
+
+from conftest import emit
+from repro.bench.report import format_table
+from repro.bench.scenarios import Scenario, run_scenario
+
+HOSTS = 64
+SCALE = 12
+APPS = ["pagerank", "cc"]
+MPIS = ["intelmpi", "mvapich2", "openmpi"]
+
+
+def run_table4():
+    out = {}
+    for app in APPS:
+        sc = Scenario(
+            app=app, graph="kron", scale=SCALE, hosts=HOSTS,
+            layer="lci", system="abelian", pagerank_rounds=10,
+        )
+        out[(app, "lci")] = run_scenario(sc)
+        for impl in MPIS:
+            for layer in ("mpi-probe", "mpi-rma"):
+                sc = Scenario(
+                    app=app, graph="kron", scale=SCALE, hosts=HOSTS,
+                    layer=layer, system="abelian", mpi_impl=impl,
+                    pagerank_rounds=10,
+                )
+                out[(app, f"{impl}-{layer[4:]}")] = run_scenario(sc)
+    return out
+
+
+def test_table4_mpi_implementations(benchmark, results_sink):
+    results = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+    configs = ["lci"] + [
+        f"{impl}-{kind}" for impl in MPIS for kind in ("probe", "rma")
+    ]
+    rows = []
+    for app in APPS:
+        row = {"app": app}
+        for c in configs:
+            m = results[(app, c)]
+            row[c + "_ms"] = round(m.total_seconds * 1e3, 3)
+            if c.endswith("rma"):
+                row[c + "+win_ms"] = round(
+                    (m.total_seconds + m.setup_seconds) * 1e3, 3
+                )
+        rows.append(row)
+    emit(f"Table IV: MPI implementations vs LCI, kron{SCALE} @ {HOSTS} hosts "
+         "(window-creation time excluded, and shown as +win)",
+         format_table(rows))
+    results_sink("table4_mpi_impls", rows)
+
+    for app in APPS:
+        lci = results[(app, "lci")].total_seconds
+        mpi_times = {
+            c: results[(app, c)].total_seconds for c in configs if c != "lci"
+        }
+        # LCI remains the winner against every MPI configuration.
+        assert lci < min(mpi_times.values()), app
+        # LCI is closest in performance to the RMA implementations.
+        best_rma = min(v for c, v in mpi_times.items() if c.endswith("rma"))
+        best_probe = min(v for c, v in mpi_times.items() if c.endswith("probe"))
+        assert best_rma < best_probe, app
+        # IntelMPI-RMA is the best MPI configuration.
+        assert (
+            results[(app, "intelmpi-rma")].total_seconds
+            == best_rma
+        ), app
+        # Including window creation, LCI beats RMA by an even wider margin.
+        with_win = (
+            results[(app, "intelmpi-rma")].total_seconds
+            + results[(app, "intelmpi-rma")].setup_seconds
+        )
+        assert with_win > best_rma

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""The Fig. 5 effect: recycled pool vs worst-case preallocation.
+
+MPI-RMA must preallocate, for every (origin, pattern) pair, a receive
+window sized as if *all* nodes were active — before the first byte
+moves.  LCI holds a fixed packet pool ("a small constant times the
+number of hosts") and recycles transient gather/landing buffers whose
+lifetime is one message.  This example runs the same workload both ways
+and breaks the footprints down so the structural difference is visible.
+
+Run:  python examples/memory_footprint.py
+"""
+
+from repro.apps import PageRank
+from repro.engine import BspEngine, EngineConfig
+from repro.graph.generators import kron
+from repro.lci.config import LciConfig
+
+HOSTS = 16
+SCALE = 17
+
+
+def run(layer, lci_config=None):
+    graph = kron(scale=SCALE, seed=2)
+    app = PageRank(max_rounds=10, tol=1e-12)
+    kwargs = {"lci_config": lci_config} if lci_config else {}
+    cfg = EngineConfig(num_hosts=HOSTS, layer=layer, layer_kwargs=kwargs)
+    engine = BspEngine(graph, app, cfg)
+    metrics = engine.run()
+    return engine, metrics
+
+
+def main():
+    lci_cfg = LciConfig(
+        pool_packets_per_host=2, pool_packets_min=16, packet_data_bytes=1024
+    )
+    lci_eng, lci = run("lci", lci_cfg)
+    rma_eng, rma = run("mpi-rma")
+
+    pool_bytes = lci_eng.layers[0].rt.pool.bytes_allocated()
+    win_bytes = sum(
+        w.bytes_allocated(0) for w in rma_eng.layers[0].windows.values()
+    )
+
+    print(f"workload: pagerank on kron{SCALE}, {HOSTS} simulated hosts\n")
+    print("LCI:")
+    print(f"  fixed packet pool:        {pool_bytes / 1024:8.1f} KiB/host")
+    print(f"  peak incl. transients:    {lci.max_footprint / 1024:8.1f} KiB "
+          f"(min host {lci.min_footprint / 1024:.1f})")
+    print(f"  execution time:           {lci.total_seconds * 1e3:8.3f} ms")
+    print("MPI-RMA:")
+    print(f"  preallocated windows:     {win_bytes / 1024:8.1f} KiB on host 0")
+    print(f"  peak incl. staging:       {rma.max_footprint / 1024:8.1f} KiB "
+          f"(min host {rma.min_footprint / 1024:.1f})")
+    print(f"  window creation (excl.):  {rma.setup_seconds * 1e3:8.3f} ms")
+    print(f"  execution time:           {rma.total_seconds * 1e3:8.3f} ms")
+    print()
+    ratio = rma.max_footprint / lci.max_footprint
+    print(f"MPI-RMA uses {ratio:.1f}x LCI's communication-buffer memory here")
+    print("(the paper reports up to 10x at kron30 scale, where the")
+    print("all-nodes-active worst case dwarfs the data-driven reality)")
+    print("— while LCI is also the faster runtime.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Partitioning study: Gemini's edge-cut vs Abelian's cartesian vertex cut.
+
+Section II of the paper explains why partitioning policy shapes
+communication: with a blocked *edge-cut* every edge source is a local
+master (only the reduce pattern is needed) but each host may exchange
+messages with all p-1 others; the *cartesian vertex cut* (CVC) adds a
+broadcast pattern yet confines each host's partners to its grid row and
+column — about 2*sqrt(p) peers — which is what keeps Abelian's
+communication structured at high host counts.
+
+This example partitions one graph both ways and reports replication
+factor, communication partners, sync-pattern sizes, and end-to-end
+time with the LCI runtime.
+
+Run:  python examples/partitioning_study.py
+"""
+
+import numpy as np
+
+from repro.apps import Bfs
+from repro.engine import BspEngine, EngineConfig
+from repro.graph.generators import rmat
+from repro.graph.partition import make_partition
+
+HOSTS = 16
+
+
+def describe(part):
+    partners = [len(part.comm_partners(h)) for h in range(part.num_hosts)]
+    reduce_vol = sum(len(sp) for sp in part.reduce_pairs.values())
+    bcast_vol = sum(len(sp) for sp in part.bcast_pairs.values())
+    print(f"  replication factor:    {part.replication_factor():.2f}")
+    print(f"  comm partners/host:    min={min(partners)} max={max(partners)}")
+    print(f"  reduce pattern volume: {reduce_vol} node updates (worst case)")
+    print(f"  bcast pattern volume:  {bcast_vol} node updates (worst case)")
+    if hasattr(part, "grid"):
+        print(f"  CVC grid:              {part.grid[0]} x {part.grid[1]}")
+
+
+def main():
+    graph = rmat(scale=12, edge_factor=16, seed=5)
+    print(f"input: {graph}, {HOSTS} hosts\n")
+
+    for policy in ("edge-cut", "cvc"):
+        print(f"policy: {policy}")
+        part = make_partition(graph, HOSTS, policy)
+        describe(part)
+
+        app = Bfs(source=0)
+        cfg = EngineConfig(num_hosts=HOSTS, policy=policy, layer="lci")
+        engine = BspEngine(graph, app, cfg)
+        metrics = engine.run()
+        assert np.array_equal(engine.assemble_global(), app.reference(graph))
+        print(f"  bfs with LCI:          {metrics.total_seconds * 1e6:.1f} us "
+              f"in {metrics.rounds} rounds (result verified)\n")
+
+    print("Note how CVC trades extra proxies (higher replication) for a")
+    print("much smaller partner set per host - the partition-awareness")
+    print("that makes Abelian's communication scale (Section II).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Reproduction of "A Lightweight Communication Runtime for Distributed
+Graph Analytics" (Dang, Brooks, Dryden, Snir, Dathathri, Gill, Lenharth,
+Hoang, Pingali — IPDPS 2018) on a simulated cluster substrate.
+
+Package map (see README.md and DESIGN.md):
+
+* :mod:`repro.sim`    — discrete-event kernel, machine models, tracing
+* :mod:`repro.netapi` — the simulated NIC (lc_send / lc_put / lc_progress)
+* :mod:`repro.mpi`    — simulated MPI (matching, probe, RMA, presets)
+* :mod:`repro.lci`    — the paper's contribution: the LCI runtime
+* :mod:`repro.graph`  — CSR graphs, generators, partitioners
+* :mod:`repro.comm`   — the Abelian communication runtime, three layers
+* :mod:`repro.engine` — BSP vertex-program engines (Abelian / Gemini)
+* :mod:`repro.apps`   — bfs, cc, sssp, pagerank (+ kcore extension)
+* :mod:`repro.bench`  — microbenchmarks, scenario runner, calibration
+* :mod:`repro.cli`    — ``python -m repro`` command-line interface
+
+Quick start::
+
+    from repro.apps import Bfs
+    from repro.engine import abelian_engine
+    from repro.graph.generators import rmat
+
+    engine = abelian_engine(rmat(12), Bfs(source=0), num_hosts=8,
+                            layer="lci")
+    metrics = engine.run()
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,22 @@
+"""The paper's four benchmark applications (Section IV):
+
+breadth-first search (:mod:`~repro.apps.bfs`), connected components
+(:mod:`~repro.apps.cc`), single-source shortest path
+(:mod:`~repro.apps.sssp`), and PageRank (:mod:`~repro.apps.pagerank`).
+
+Each is a :class:`~repro.engine.vertex_program.VertexProgram` with a
+single-machine reference implementation for end-to-end verification.
+Use :func:`make_app` to instantiate by name.
+"""
+
+from repro.apps.bfs import Bfs
+from repro.apps.cc import ConnectedComponents
+from repro.apps.kcore import KCore
+from repro.apps.sssp import Sssp
+from repro.apps.pagerank import PageRank
+from repro.apps.registry import APPS, make_app
+
+__all__ = [
+    "Bfs", "ConnectedComponents", "KCore", "Sssp", "PageRank",
+    "APPS", "make_app",
+]

@@ -1,0 +1,34 @@
+"""Application registry used by the harness and examples."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.apps.bfs import Bfs
+from repro.apps.cc import ConnectedComponents
+from repro.apps.kcore import KCore
+from repro.apps.pagerank import PageRank
+from repro.apps.sssp import Sssp
+from repro.engine.vertex_program import VertexProgram
+
+__all__ = ["APPS", "make_app"]
+
+APPS: Dict[str, Callable[..., VertexProgram]] = {
+    "bfs": Bfs,
+    "cc": ConnectedComponents,
+    "sssp": Sssp,
+    "pagerank": PageRank,
+    # Extension beyond the paper's four benchmarks (see apps/kcore.py).
+    "kcore": KCore,
+}
+
+
+def make_app(name: str, **kwargs) -> VertexProgram:
+    """Instantiate one of the paper's four applications by name.
+
+    kwargs pass to the program constructor (e.g. ``source=`` for bfs and
+    sssp, ``max_rounds=`` / ``tol=`` for pagerank).
+    """
+    if name not in APPS:
+        raise ValueError(f"unknown app {name!r}; pick from {sorted(APPS)}")
+    return APPS[name](**kwargs)

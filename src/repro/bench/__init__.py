@@ -1,0 +1,28 @@
+"""Benchmark harness: microbenchmarks, scenario runner, and reports.
+
+* :mod:`repro.bench.micro` — the Fig. 1 latency / message-rate
+  microbenchmarks over the three interfaces (no-probe, probe, queue).
+* :mod:`repro.bench.scenarios` — end-to-end application runs for
+  Figs 3-6 and Tables II/IV.
+* :mod:`repro.bench.report` — table rendering and geomean speedups.
+* :mod:`repro.bench.calibration` — sanity checks tying model constants
+  to published magnitudes.
+"""
+
+from repro.bench.micro import (
+    MICRO_INTERFACES,
+    message_rate,
+    pingpong_latency,
+)
+from repro.bench.scenarios import Scenario, run_scenario
+from repro.bench.report import format_table, geomean_speedup
+
+__all__ = [
+    "MICRO_INTERFACES",
+    "message_rate",
+    "pingpong_latency",
+    "Scenario",
+    "run_scenario",
+    "format_table",
+    "geomean_speedup",
+]

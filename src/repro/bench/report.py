@@ -1,0 +1,51 @@
+"""Table rendering and the paper's summary statistics."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.sim.monitor import geometric_mean
+
+__all__ = ["format_table", "geomean_speedup", "format_seconds"]
+
+
+def format_seconds(s: float) -> str:
+    """Human scale: the simulated runs span microseconds to seconds."""
+    if s >= 1.0:
+        return f"{s:.2f}s"
+    if s >= 1e-3:
+        return f"{s * 1e3:.2f}ms"
+    return f"{s * 1e6:.2f}us"
+
+
+def format_table(rows: Sequence[Mapping], columns: Sequence[str] = None) -> str:
+    """Render dict-rows as an aligned monospace table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(columns) if columns else list(rows[0].keys())
+    table = [[str(r.get(c, "")) for c in columns] for r in rows]
+    widths = [
+        max(len(columns[i]), max(len(row[i]) for row in table))
+        for i in range(len(columns))
+    ]
+    def fmt(cells):
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+    lines = [fmt(columns), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in table)
+    return "\n".join(lines)
+
+
+def geomean_speedup(
+    baseline: Mapping[str, float], improved: Mapping[str, float]
+) -> float:
+    """Geometric-mean speedup of ``improved`` over ``baseline``.
+
+    Keys are experiment labels; both mappings must cover the same keys.
+    This is the statistic behind the paper's headline numbers (e.g. LCI's
+    1.34x geomean over MPI-Probe at 128 hosts).
+    """
+    keys = sorted(baseline)
+    if sorted(improved) != keys:
+        raise ValueError("speedup requires matching experiment sets")
+    ratios = [baseline[k] / improved[k] for k in keys]
+    return geometric_mean(ratios)

@@ -1,0 +1,200 @@
+"""Command-line interface: run experiments without writing code.
+
+::
+
+    python -m repro run --app bfs --graph rmat --scale 12 --hosts 16 \\
+        --layer lci [--trace trace.json]
+    python -m repro sweep --app pagerank --graph kron --hosts 4 16 64
+    python -m repro micro [--sizes 8 512 65536] [--threads 1 8 64]
+    python -m repro inputs --scale 14
+    python -m repro calibrate
+
+Each subcommand prints the same tables the benchmark harness produces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.micro import MICRO_INTERFACES, message_rate, pingpong_latency
+from repro.bench.report import format_seconds, format_table
+from repro.bench.scenarios import Scenario, run_scenario
+from repro.comm.layer_base import LAYER_NAMES
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="LCI-reproduction experiment runner (simulated cluster)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one scenario")
+    run.add_argument("--app", default="bfs",
+                     choices=["bfs", "cc", "sssp", "pagerank", "kcore"])
+    run.add_argument("--graph", default="rmat",
+                     choices=["rmat", "kron", "webcrawl"])
+    run.add_argument("--scale", type=int, default=12)
+    run.add_argument("--hosts", type=int, default=16)
+    run.add_argument("--layer", default="lci", choices=list(LAYER_NAMES))
+    run.add_argument("--system", default="abelian",
+                     choices=["abelian", "gemini"])
+    run.add_argument("--machine", default="stampede2",
+                     choices=["stampede2", "stampede1"])
+    run.add_argument("--mpi", default="intelmpi", dest="mpi_impl",
+                     choices=["intelmpi", "mvapich2", "openmpi"])
+    run.add_argument("--pagerank-rounds", type=int, default=20)
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--trace", metavar="PATH",
+                     help="write a chrome://tracing timeline JSON")
+
+    sweep = sub.add_parser("sweep", help="host-count sweep across layers")
+    sweep.add_argument("--app", default="pagerank",
+                       choices=["bfs", "cc", "sssp", "pagerank", "kcore"])
+    sweep.add_argument("--graph", default="kron",
+                       choices=["rmat", "kron", "webcrawl"])
+    sweep.add_argument("--scale", type=int, default=12)
+    sweep.add_argument("--hosts", type=int, nargs="+", default=[4, 16, 64])
+    sweep.add_argument("--system", default="abelian",
+                       choices=["abelian", "gemini"])
+    sweep.add_argument("--pagerank-rounds", type=int, default=10)
+
+    micro = sub.add_parser("micro", help="Fig. 1 microbenchmarks")
+    micro.add_argument("--sizes", type=int, nargs="+",
+                       default=[8, 512, 4096, 65536])
+    micro.add_argument("--threads", type=int, nargs="+",
+                       default=[1, 4, 16, 64])
+
+    inputs = sub.add_parser("inputs", help="Table I input properties")
+    inputs.add_argument("--scale", type=int, default=14)
+
+    sub.add_parser("calibrate", help="model-calibration report")
+    return p
+
+
+def _cmd_run(args) -> int:
+    tracer = None
+    if args.trace:
+        from repro.sim.trace import Tracer
+        tracer = Tracer()
+    sc = Scenario(
+        app=args.app, graph=args.graph, scale=args.scale, hosts=args.hosts,
+        layer=args.layer, system=args.system, machine=args.machine,
+        mpi_impl=args.mpi_impl, pagerank_rounds=args.pagerank_rounds,
+        seed=args.seed,
+    )
+    if tracer is None:
+        m = run_scenario(sc)
+    else:
+        # Re-implement the scenario run with a tracer-carrying config.
+        from repro.bench.scenarios import cached_graph
+        from repro.apps import make_app
+        from repro.engine import BspEngine, EngineConfig
+        from repro.sim.machine import PRESETS
+
+        graph = cached_graph(sc.graph, sc.scale, sc.seed, sc.app == "sssp")
+        kwargs = {"max_rounds": sc.pagerank_rounds} if sc.app == "pagerank" else {}
+        cfg = EngineConfig(
+            num_hosts=sc.hosts, machine=PRESETS[sc.machine],
+            policy="cvc" if sc.system == "abelian" else "edge-cut",
+            layer=sc.layer, tracer=tracer,
+        )
+        eng = BspEngine(graph, make_app(sc.app, **kwargs), cfg)
+        m = eng.run()
+        tracer.save(args.trace)
+        print(f"trace written to {args.trace}")
+    print(format_table([m.row()]))
+    print(f"\ntotal {format_seconds(m.total_seconds)} = compute "
+          f"{format_seconds(m.compute_seconds)} + comm "
+          f"{format_seconds(m.comm_seconds)} over {m.rounds} rounds")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    layers = [l for l in LAYER_NAMES
+              if not (args.system == "gemini" and l == "mpi-rma")]
+    rows = []
+    for hosts in args.hosts:
+        row = {"hosts": hosts}
+        for layer in layers:
+            sc = Scenario(
+                app=args.app, graph=args.graph, scale=args.scale,
+                hosts=hosts, layer=layer, system=args.system,
+                pagerank_rounds=args.pagerank_rounds,
+            )
+            m = run_scenario(sc)
+            row[layer] = format_seconds(m.total_seconds)
+        rows.append(row)
+    print(f"{args.system}/{args.app} on {args.graph}{args.scale}")
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_micro(args) -> int:
+    lat_rows = []
+    for size in args.sizes:
+        row = {"bytes": size}
+        for iface in MICRO_INTERFACES:
+            row[iface] = f"{pingpong_latency(iface, size, iters=20) * 1e6:.2f}us"
+        lat_rows.append(row)
+    print("one-way latency")
+    print(format_table(lat_rows))
+    rate_rows = []
+    for t in args.threads:
+        row = {"threads": t}
+        for iface in MICRO_INTERFACES:
+            row[iface] = f"{message_rate(iface, t, window=16) / 1e6:.3f}M/s"
+        rate_rows.append(row)
+    print("\nmessage rate")
+    print(format_table(rate_rows))
+    return 0
+
+
+def _cmd_inputs(args) -> int:
+    from repro.graph.generators import kron, rmat, webcrawl
+    from repro.graph.properties import graph_properties
+
+    rows = [
+        graph_properties(g).as_row()
+        for g in (webcrawl(args.scale), kron(args.scale), rmat(args.scale))
+    ]
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_calibrate(_args) -> int:
+    from repro.bench.calibration import calibration_report
+
+    rows = []
+    ok = True
+    for name, (value, low, high) in sorted(calibration_report().items()):
+        in_range = low <= value <= high
+        ok &= in_range
+        rows.append({
+            "observable": name,
+            "value": f"{value:.4g}",
+            "range": f"[{low:.3g}, {high:.3g}]",
+            "ok": "yes" if in_range else "NO",
+        })
+    print(format_table(rows))
+    return 0 if ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "run": _cmd_run,
+        "sweep": _cmd_sweep,
+        "micro": _cmd_micro,
+        "inputs": _cmd_inputs,
+        "calibrate": _cmd_calibrate,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""The Abelian communication runtime (Fig. 2 of the paper).
+
+Each BSP round's synchronization is a **gather-communicate-scatter**
+pattern: compute threads gather updated labels into per-destination
+buffers, a communication substrate moves the buffers, and compute threads
+scatter arriving buffers into local proxies.
+
+This package provides the pieces:
+
+* :mod:`repro.comm.serialization` — update blobs with minimized metadata
+  (bitset vs. index-list, whichever is smaller) and their size/cost
+  accounting;
+* :mod:`repro.comm.collective` — the BSP round barrier/allreduce used for
+  termination detection (identical cost across layers, so it never
+  confounds the comparison);
+* :mod:`repro.comm.layer_base` — the CommLayer interface and buffer
+  footprint accounting (Fig. 5);
+* three interchangeable layers:
+  :class:`~repro.comm.probe_layer.ProbeCommLayer` (Section III-B),
+  :class:`~repro.comm.rma_layer.RmaCommLayer` (Section III-C), and
+  :class:`~repro.comm.lci_layer.LciCommLayer` (Section III-D).
+"""
+
+from repro.comm.serialization import UpdateBlob, pack_updates, unpack_updates
+from repro.comm.collective import SimBarrier, AllReducer
+from repro.comm.layer_base import CommLayer, LAYER_NAMES, make_layers
+from repro.comm.probe_layer import ProbeCommLayer
+from repro.comm.rma_layer import RmaCommLayer
+from repro.comm.lci_layer import LciCommLayer
+
+__all__ = [
+    "UpdateBlob",
+    "pack_updates",
+    "unpack_updates",
+    "SimBarrier",
+    "AllReducer",
+    "CommLayer",
+    "LAYER_NAMES",
+    "make_layers",
+    "ProbeCommLayer",
+    "RmaCommLayer",
+    "LciCommLayer",
+]

@@ -1,0 +1,88 @@
+"""BSP round synchronization: a simulation barrier and an allreducer.
+
+Termination detection (does any host still have active work?) is part of
+the BSP round structure of both Gemini and Abelian, and it is *identical*
+across the three communication layers under study.  To keep it from
+confounding the layer comparison, the engines use these primitives, which
+synchronize host processes exactly and charge an analytic
+dissemination-barrier cost — ``ceil(log2 p)`` rounds of one small-message
+exchange each — the same for every layer.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.sim.engine import Environment, Event
+from repro.sim.machine import MachineModel
+
+__all__ = ["SimBarrier", "AllReducer", "barrier_cost"]
+
+
+def barrier_cost(machine: MachineModel, num_hosts: int) -> float:
+    """Analytic cost of a dissemination barrier over small messages."""
+    if num_hosts <= 1:
+        return 0.0
+    rounds = math.ceil(math.log2(num_hosts))
+    per_round = (
+        machine.nic.send_overhead
+        + machine.nic.latency
+        + machine.nic.recv_overhead
+    )
+    return rounds * per_round
+
+
+class SimBarrier:
+    """Reusable barrier for ``n`` simulated host processes."""
+
+    def __init__(self, env: Environment, n: int, machine: MachineModel):
+        self.env = env
+        self.n = n
+        self.cost = barrier_cost(machine, n)
+        self._count = 0
+        self._generation = 0
+        self._release: Event = Event(env)
+
+    def arrive(self):
+        """Generator: block until all ``n`` processes arrive."""
+        gen = self._generation
+        self._count += 1
+        if self._count == self.n:
+            self._count = 0
+            self._generation += 1
+            release, self._release = self._release, Event(self.env)
+            release.succeed(None)
+            if self.cost > 0:
+                yield self.env.timeout(self.cost)
+            return
+        release = self._release
+        yield release
+        if self.cost > 0:
+            yield self.env.timeout(self.cost)
+
+
+class AllReducer:
+    """Barrier-synchronized sum over per-host contributions.
+
+    Each host calls ``value = yield from ar.allreduce_sum(host, x)``;
+    all hosts receive the global sum for that round.
+    """
+
+    def __init__(self, env: Environment, n: int, machine: MachineModel):
+        self.env = env
+        self.n = n
+        self.barrier = SimBarrier(env, n, machine)
+        self._accum: List[float] = [0.0]
+        self._contributed = 0
+        self._result: List[float] = [0.0]
+
+    def allreduce_sum(self, host: int, value):
+        self._accum[0] += value
+        self._contributed += 1
+        if self._contributed == self.n:
+            self._result[0] = self._accum[0]
+            self._accum[0] = 0.0
+            self._contributed = 0
+        yield from self.barrier.arrive()
+        return self._result[0]

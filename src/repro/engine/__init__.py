@@ -1,0 +1,29 @@
+"""BSP vertex-program engines (Section II).
+
+:class:`~repro.engine.bsp.BspEngine` executes a vertex program over a
+partitioned graph on the simulated cluster: rounds of local compute
+followed by a communication phase composed of *reduce* (mirrors ->
+master) and *broadcast* (master -> mirrors) patterns, driven through any
+of the three communication layers.
+
+:func:`~repro.engine.abelian.abelian_engine` configures it as Abelian
+(vertex-cut partitioning, partition-aware sync, dedicated comm thread);
+:func:`~repro.engine.gemini.gemini_engine` as Gemini (blocked edge-cut,
+compute threads calling the communication library directly).
+"""
+
+from repro.engine.vertex_program import ComputeResult, VertexProgram
+from repro.engine.metrics import RunMetrics
+from repro.engine.bsp import BspEngine, EngineConfig
+from repro.engine.abelian import abelian_engine
+from repro.engine.gemini import gemini_engine
+
+__all__ = [
+    "ComputeResult",
+    "VertexProgram",
+    "RunMetrics",
+    "BspEngine",
+    "EngineConfig",
+    "abelian_engine",
+    "gemini_engine",
+]

@@ -1,0 +1,43 @@
+"""Abelian engine configuration.
+
+Abelian (the distributed-memory Galois, later published as D-Galois/Gluon)
+is partition-aware: it supports general vertex cuts, picks reduce and/or
+broadcast based on the partitioning policy, ships only updated labels
+with minimized metadata, and drives communication through a dedicated
+thread (Fig. 2).  All of that is the BspEngine default; this wrapper
+pins the paper's configuration: CVC partitioning and the chosen layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.bsp import BspEngine, EngineConfig
+from repro.engine.vertex_program import VertexProgram
+from repro.graph.csr import CsrGraph
+from repro.sim.machine import MachineModel, stampede2
+
+__all__ = ["abelian_engine"]
+
+
+def abelian_engine(
+    graph: CsrGraph,
+    app: VertexProgram,
+    num_hosts: int,
+    layer: str = "lci",
+    machine: Optional[MachineModel] = None,
+    **layer_kwargs,
+) -> BspEngine:
+    """Abelian with the given communication layer.
+
+    ``layer`` is "lci", "mpi-probe", or "mpi-rma" — the three runtimes
+    of Section III.  Extra kwargs go to the layer factory.
+    """
+    cfg = EngineConfig(
+        num_hosts=num_hosts,
+        machine=machine or stampede2(),
+        policy="cvc",
+        layer=layer,
+        layer_kwargs=layer_kwargs,
+    )
+    return BspEngine(graph, app, cfg)

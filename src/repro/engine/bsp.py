@@ -1,0 +1,414 @@
+"""The BSP vertex-program engine over the simulated cluster.
+
+One simulated process per host executes rounds of:
+
+1. **compute** — the program's operator over local edges from active
+   sources (real NumPy updates; time charged from the machine model's
+   per-node/per-edge costs, divided across the host's compute threads —
+   one core is reserved for the dedicated communication thread, as in
+   Fig. 2);
+2. **reduce sync** — gather updated mirror values per master host
+   (pack cost charged, parallelized), send through the communication
+   layer, scatter arriving buffers *as they arrive*;
+3. **post-reduce** — master-side round step (PageRank's damping update);
+4. **broadcast sync** — same shape, masters to mirrors (skipped entirely
+   when the partition makes it unnecessary — Abelian's partition-aware
+   optimization, automatic for Gemini's edge-cut);
+5. **termination** — an allreduce of the program's quiescence metric,
+   identical cost across layers.
+
+The engine measures per-round compute and non-overlapped communication
+time per host, layer buffer footprints, and total execution time with
+setup (e.g. RMA window creation) excluded — matching how the paper
+reports its numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.comm.collective import AllReducer, SimBarrier
+from repro.comm.layer_base import CommLayer, make_layers
+from repro.comm.serialization import pack_cost, pack_updates, unpack_cost
+from repro.engine.metrics import RunMetrics
+from repro.engine.vertex_program import VertexProgram
+from repro.graph.csr import CsrGraph
+from repro.graph.partition import make_partition
+from repro.graph.partition.proxies import Partition
+from repro.netapi.nic import Fabric
+from repro.sim.engine import Environment
+from repro.sim.machine import MachineModel, stampede2
+
+__all__ = ["EngineConfig", "BspEngine", "symmetrize"]
+
+
+def symmetrize(graph: CsrGraph) -> CsrGraph:
+    """Add reverse edges (used for cc, which is undirected semantics)."""
+    src, dst = graph.edges()
+    all_src = np.concatenate([src, dst])
+    all_dst = np.concatenate([dst, src])
+    edge_data = None
+    if graph.edge_data is not None:
+        edge_data = np.concatenate([graph.edge_data, graph.edge_data])
+    return CsrGraph.from_edges(
+        all_src, all_dst, graph.num_nodes, edge_data=edge_data, dedup=True,
+        name=graph.name + ".sym",
+    )
+
+
+@dataclass
+class EngineConfig:
+    """How to run: cluster size, machine, partitioning, comm layer."""
+
+    num_hosts: int = 4
+    machine: MachineModel = dc_field(default_factory=stampede2)
+    #: "cvc" (Abelian) or "edge-cut" (Gemini).
+    policy: str = "cvc"
+    #: "lci", "mpi-probe", or "mpi-rma".
+    layer: str = "lci"
+    #: Extra kwargs for the layer factory (mpi_config=, lci_config=,
+    #: inline_sends=, buffered=, ...).
+    layer_kwargs: Dict = dc_field(default_factory=dict)
+    #: Engine-level round cap (safety; programs may stop earlier).
+    max_rounds: int = 10_000
+    #: Event-count safety valve for the simulation run.
+    max_events: Optional[int] = 200_000_000
+    #: Multiplier on compute-phase cost.  The paper's inputs carry
+    #: ~10^4x more edges per host than the harness's reduced-scale
+    #: graphs; the Fig. 6 breakdown uses this to restore a realistic
+    #: compute/communication ratio.  Communication is unaffected, so
+    #: layer comparisons never depend on it.
+    work_scale: float = 1.0
+    #: Optional :class:`repro.sim.trace.Tracer`; when set, the engine
+    #: emits per-round compute/gather/scatter/sync spans for timeline
+    #: visualization (chrome://tracing).
+    tracer: Optional[object] = None
+
+
+class BspEngine:
+    """Runs one vertex program on one partitioned graph."""
+
+    def __init__(self, graph: CsrGraph, app: VertexProgram, config: EngineConfig):
+        self.app = app
+        self.config = config
+        if app.needs_symmetric:
+            graph = symmetrize(graph)
+        if app.needs_weights and graph.edge_data is None:
+            raise ValueError(
+                f"{app.name} needs edge weights; generate the graph with "
+                "weights=True"
+            )
+        self.graph = graph
+        self.partition: Partition = make_partition(
+            graph, config.num_hosts, config.policy
+        )
+        self.env = Environment()
+        self.fabric = Fabric(self.env, config.num_hosts, config.machine)
+        self.layers: List[CommLayer] = make_layers(
+            config.layer, self.env, self.fabric, config.machine,
+            **config.layer_kwargs,
+        )
+        self.barrier = SimBarrier(self.env, config.num_hosts, config.machine)
+        self.allreducer = AllReducer(self.env, config.num_hosts, config.machine)
+        self.states: List[Dict[str, np.ndarray]] = [None] * config.num_hosts
+        self._compute_rounds: List[List[float]] = [
+            [] for _ in range(config.num_hosts)
+        ]
+        self._comm_rounds: List[List[float]] = [
+            [] for _ in range(config.num_hosts)
+        ]
+        self._rounds_done = [0] * config.num_hosts
+        self._start_times = [0.0] * config.num_hosts
+        self._end_times = [0.0] * config.num_hosts
+        self._payload_bytes = [0] * config.num_hosts
+        self._updates_shipped = [0] * config.num_hosts
+        # Cache per-host pair lists once (they are static).
+        p = self.partition
+        self._reduce_out = [p.reduce_out(h) for h in range(config.num_hosts)]
+        self._reduce_in = [p.reduce_in(h) for h in range(config.num_hosts)]
+        self._bcast_out = [p.bcast_out(h) for h in range(config.num_hosts)]
+        self._bcast_in = [p.bcast_in(h) for h in range(config.num_hosts)]
+        self._has_reduce = bool(p.reduce_pairs)
+        self._has_bcast = bool(p.bcast_pairs)
+        self.tracer = config.tracer
+        if self.tracer is not None and self.tracer.env is None:
+            self.tracer.env = self.env
+
+    # ------------------------------------------------------------------
+    @property
+    def compute_threads(self) -> int:
+        """Compute threads per host: one core feeds the comm machinery."""
+        return max(1, self.config.machine.cpu.cores - 1)
+
+    def run(self) -> RunMetrics:
+        procs = [
+            self.env.process(self._host_proc(h), name=f"host-{h}")
+            for h in range(self.config.num_hosts)
+        ]
+        self.env.run(max_events=self.config.max_events)
+        for p in procs:
+            if not p.triggered:
+                raise RuntimeError(f"{p.name} never finished (deadlock?)")
+            if not p.ok:
+                raise p._value
+        return self._metrics()
+
+    # ------------------------------------------------------------------
+    def _host_proc(self, h: int):
+        env = self.env
+        app = self.app
+        cpu = self.config.machine.cpu
+        lg = self.partition.local(h)
+        layer = self.layers[h]
+        threads = self.compute_threads
+
+        state = app.init_state(lg, self.graph)
+        self.states[h] = state
+        patterns = []
+        if self._has_reduce:
+            patterns.append("reduce")
+        if self._has_bcast:
+            patterns.append("bcast")
+        yield from layer.setup(
+            reduce_pairs=self.partition.reduce_pairs,
+            bcast_pairs=self.partition.bcast_pairs,
+            field_bytes=app.field_bytes,
+            patterns=tuple(patterns),
+        )
+        yield from self.barrier.arrive()
+        self._start_times[h] = env.now
+
+        active = app.initial_active(lg, state)
+        dirty_reduce = np.zeros(lg.num_local, dtype=bool)
+        dirty_bcast = np.zeros(lg.num_local, dtype=bool)
+        max_rounds = min(
+            self.config.max_rounds,
+            app.max_rounds if app.max_rounds is not None else 10**9,
+        )
+
+        tracer = self.tracer
+        rnd = 0
+        while True:
+            # ---------------- compute phase ----------------
+            t0 = env.now
+            res = app.compute(lg, state, active)
+            compute_cost = (
+                res.work_nodes * cpu.per_node_cost
+                + res.work_edges * cpu.per_edge_cost
+            ) * self.config.work_scale / threads
+            if compute_cost > 0:
+                yield env.timeout(compute_cost)
+            self._compute_rounds[h].append(env.now - t0)
+            t_comm = env.now
+            if tracer is not None:
+                tracer.record(
+                    h, "compute", f"round {rnd}", t0, env.now,
+                    edges=res.work_edges, nodes=res.work_nodes,
+                )
+
+            upd = res.updated
+            if len(upd):
+                dirty_reduce[upd[upd >= lg.num_masters]] = True
+                if app.label_is_broadcast_field:
+                    dirty_bcast[upd[upd < lg.num_masters]] = True
+
+            # ---------------- reduce sync ----------------
+            if self._has_reduce:
+                yield from self._sync_phase(
+                    h, lg, layer, state, (rnd, "reduce"),
+                    out_pairs=self._reduce_out[h],
+                    in_pairs=self._reduce_in[h],
+                    dirty=dirty_reduce,
+                    is_reduce=True,
+                    dirty_bcast=dirty_bcast,
+                )
+
+            # ---------------- post-reduce (master step) ----------------
+            extra = app.post_reduce(lg, state)
+            if len(extra):
+                dirty_bcast[extra] = True
+            if app.reduce_op == "add" and lg.num_masters:
+                # The damping update touches every master once.
+                yield env.timeout(lg.num_masters * cpu.per_node_cost / threads)
+
+            # ---------------- broadcast sync ----------------
+            if self._has_bcast:
+                yield from self._sync_phase(
+                    h, lg, layer, state, (rnd, "bcast"),
+                    out_pairs=self._bcast_out[h],
+                    in_pairs=self._bcast_in[h],
+                    dirty=dirty_bcast,
+                    is_reduce=False,
+                )
+
+            # ---------------- termination ----------------
+            active = app.next_active(lg, state)
+            metric = app.local_quiescent_metric(lg, state, active)
+            t_ar = env.now
+            total = yield from self.allreducer.allreduce_sum(h, metric)
+            # Globally agreed activity level: programs may use it to pick
+            # a traversal direction (Gemini's push/pull switching) — every
+            # host sees the same value, so decisions stay consistent.
+            state["_global_active"] = total
+            self._comm_rounds[h].append(env.now - t_comm)
+            if tracer is not None:
+                tracer.record(h, "allreduce", f"round {rnd}", t_ar, env.now)
+            rnd += 1
+            if total == 0 or rnd >= max_rounds:
+                break
+
+        self._rounds_done[h] = rnd
+        self._end_times[h] = env.now
+        # Everyone reaches this point together (the allreduce barrier),
+        # so shutting down helper threads here is race-free.
+        layer.shutdown()
+
+    # ------------------------------------------------------------------
+    def _sync_phase(
+        self, h, lg, layer, state, phase, out_pairs, in_pairs, dirty,
+        is_reduce, dirty_bcast=None,
+    ):
+        """One gather-communicate-scatter pattern instance."""
+        env = self.env
+        app = self.app
+        cpu = self.config.machine.cpu
+        threads = self.compute_threads
+        part = self.partition
+
+        if is_reduce:
+            out_peer = lambda sp: sp.master_host
+            in_peer = lambda sp: sp.mirror_host
+            my_ids = lambda sp: sp.mirror_ids      # ids on the sender
+            their_ids = lambda sp: sp.master_ids   # ids on the receiver
+            get_values = app.reduce_values
+            apply_values = app.apply_reduce
+        else:
+            out_peer = lambda sp: sp.mirror_host
+            in_peer = lambda sp: sp.master_host
+            my_ids = lambda sp: sp.master_ids
+            their_ids = lambda sp: sp.mirror_ids
+            get_values = app.bcast_values
+            apply_values = app.apply_bcast
+
+        out_hosts = [out_peer(sp) for sp in out_pairs]
+        in_hosts = [in_peer(sp) for sp in in_pairs]
+        yield from layer.phase_begin(phase, out_hosts, in_hosts)
+
+        # Gather: pack each pair's dirty subset (parallel across threads).
+        blobs = []
+        gather_cost = 0.0
+        for sp in out_pairs:
+            ids_mine = my_ids(sp)
+            positions = np.where(dirty[ids_mine])[0].astype(np.int64)
+            values = get_values(state, ids_mine[positions])
+            blob = pack_updates(
+                positions, values, len(sp), app.field_bytes, phase=phase
+            )
+            blobs.append((out_peer(sp), blob, sp))
+            gather_cost += pack_cost(cpu, len(positions), blob.nbytes)
+            self._payload_bytes[h] += blob.nbytes
+            self._updates_shipped[h] += len(positions)
+        if gather_cost > 0:
+            yield env.timeout(gather_cost / threads)
+
+        if layer.parallel_send and len(blobs) > 1:
+            # Compute threads initiate sends concurrently (up to the
+            # host's thread count; partner counts never exceed it here).
+            sends = [
+                env.process(layer.send(dst, blob), name=f"send-{h}-{dst}")
+                for dst, blob, _sp in blobs
+            ]
+            yield env.all_of(sends)
+        else:
+            for dst, blob, _sp in blobs:
+                yield from layer.send(dst, blob)
+        if is_reduce:
+            for dst, blob, sp in blobs:
+                if len(blob.positions):
+                    app.reset_after_reduce_send(
+                        state, my_ids(sp)[blob.positions]
+                    )
+        for sp in out_pairs:
+            dirty[my_ids(sp)] = False
+        yield from layer.flush(phase)
+
+        # Scatter arrivals as they come (arbitrary order).
+        pair_by_src = {in_peer(sp): sp for sp in in_pairs}
+        pending = set(in_hosts)
+        cold = cpu.cold_read_factor if layer.receive_buffer_cold else 1.0
+        while pending:
+            batch = yield from layer.collect_some(phase, pending)
+            scatter_cost = 0.0
+            for src, blob in batch:
+                sp = pair_by_src[src]
+                ids = their_ids(sp)[blob.positions]
+                if len(ids):
+                    changed = apply_values(state, ids, blob.values)
+                    if is_reduce and app.label_is_broadcast_field and dirty_bcast is not None:
+                        dirty_bcast[ids[changed]] = True
+                scatter_cost += unpack_cost(cpu, len(ids), blob.nbytes) * cold
+                layer.consume(blob)
+            if scatter_cost > 0:
+                yield env.timeout(scatter_cost / threads)
+        yield from layer.phase_end(phase)
+
+    # ------------------------------------------------------------------
+    def _metrics(self) -> RunMetrics:
+        cfg = self.config
+        rounds = max(self._rounds_done)
+        compute_per_round = [
+            max(
+                self._compute_rounds[h][r]
+                for h in range(cfg.num_hosts)
+                if r < len(self._compute_rounds[h])
+            )
+            for r in range(rounds)
+        ]
+        comm_per_round = [
+            max(
+                self._comm_rounds[h][r]
+                for h in range(cfg.num_hosts)
+                if r < len(self._comm_rounds[h])
+            )
+            for r in range(rounds)
+        ]
+        m = RunMetrics(
+            app=self.app.name,
+            graph=self.graph.name,
+            layer=cfg.layer,
+            num_hosts=cfg.num_hosts,
+            policy=cfg.policy,
+            total_seconds=max(self._end_times) - min(self._start_times),
+            setup_seconds=max(
+                getattr(l, "setup_seconds", 0.0) for l in self.layers
+            ),
+            rounds=rounds,
+            compute_per_round=compute_per_round,
+            comm_per_round=comm_per_round,
+            footprint_per_host=[l.footprint.peak for l in self.layers],
+            blobs_sent=sum(
+                l.stats.counter_value("blobs_sent")
+                + l.stats.counter_value("puts")
+                for l in self.layers
+            ),
+            payload_bytes_sent=sum(self._payload_bytes),
+            updates_shipped=sum(self._updates_shipped),
+        )
+        return m
+
+    # ------------------------------------------------------------------
+    def assemble_global(self) -> np.ndarray:
+        """Collect the canonical per-node result from all masters."""
+        n = self.graph.num_nodes
+        sample = self.app.extract_masters(
+            self.partition.local(0), self.states[0]
+        )
+        out = np.zeros(n, dtype=sample.dtype)
+        for h in range(self.config.num_hosts):
+            lg = self.partition.local(h)
+            vals = self.app.extract_masters(lg, self.states[h])
+            out[lg.global_ids[: lg.num_masters]] = vals
+        return out

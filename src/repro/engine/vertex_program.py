@@ -1,0 +1,154 @@
+"""The vertex-program abstraction the engines execute.
+
+A vertex program supplies per-host NumPy state and five hooks the BSP
+engine calls each round.  Labels live per *proxy* (local id); the engine
+owns dirty-tracking, message construction, and sync-pattern selection, so
+programs only describe local semantics:
+
+* ``compute``     — apply the operator along local edges from active
+  sources; return which local nodes were written plus work counts.
+* ``reduce_values`` / ``apply_reduce`` — what a mirror ships to its
+  master and how the master combines it (min or add).
+* ``post_reduce`` — master-side per-round step after all reduces landed
+  (PageRank's damping update; identity for the min programs).
+* ``bcast_values`` / ``apply_bcast`` — what a master ships to mirrors and
+  how the mirror installs it.
+
+All state arrays are float64/int64 and the wire field is 8 bytes, like
+the single-label graph applications in the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.graph.csr import CsrGraph
+from repro.graph.partition.proxies import LocalGraph
+
+__all__ = ["ComputeResult", "VertexProgram"]
+
+
+@dataclass
+class ComputeResult:
+    """What one local compute phase did."""
+
+    #: Local ids written (label possibly changed) by this phase.
+    updated: np.ndarray
+    #: Edges relaxed (drives the compute-time model).
+    work_edges: int
+    #: Active nodes visited.
+    work_nodes: int
+
+
+class VertexProgram:
+    """Base class; subclasses are the paper's four applications."""
+
+    #: Program name, e.g. "bfs".
+    name: str = "abstract"
+    #: Wire bytes per communicated label.
+    field_bytes: int = 8
+    #: "min" or "add" — the reduce combining operator.
+    reduce_op: str = "min"
+    #: Whether edges must carry weights (sssp).
+    needs_weights: bool = False
+    #: Whether the input must be symmetrized before partitioning (cc).
+    needs_symmetric: bool = False
+    #: Hard round cap (None = run to quiescence).
+    max_rounds: Optional[int] = None
+    #: True when the value written by compute/apply_reduce *is* the value
+    #: broadcast (the min programs' label).  False for PageRank, where
+    #: compute writes partial sums and only post_reduce changes the
+    #: broadcast field (contrib).  Drives the engine's dirty tracking.
+    label_is_broadcast_field: bool = True
+
+    # ------------------------------------------------------------------
+    def init_state(self, lg: LocalGraph, graph: CsrGraph) -> Dict[str, np.ndarray]:
+        """Per-host state arrays over local ids (masters then mirrors)."""
+        raise NotImplementedError
+
+    def initial_active(self, lg: LocalGraph, state) -> np.ndarray:
+        """Boolean mask over local ids: active in round 0."""
+        raise NotImplementedError
+
+    def compute(self, lg: LocalGraph, state, active: np.ndarray) -> ComputeResult:
+        raise NotImplementedError
+
+    # -- reduce pattern --------------------------------------------------
+    def reduce_values(self, state, ids: np.ndarray) -> np.ndarray:
+        """Values mirrors ship to masters for local ids ``ids``."""
+        raise NotImplementedError
+
+    def apply_reduce(self, state, ids: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Combine mirror values into masters; returns changed mask."""
+        raise NotImplementedError
+
+    def reset_after_reduce_send(self, state, ids: np.ndarray) -> None:
+        """Clear shipped accumulators on the mirror side (add-style)."""
+
+    def post_reduce(self, lg: LocalGraph, state) -> np.ndarray:
+        """Master-side round step; returns local ids of changed masters
+        *beyond* those already reported by apply_reduce (default none)."""
+        return np.empty(0, dtype=np.int64)
+
+    # -- broadcast pattern ------------------------------------------------
+    def bcast_values(self, state, ids: np.ndarray) -> np.ndarray:
+        """Values masters ship to mirrors."""
+        raise NotImplementedError
+
+    def apply_bcast(self, state, ids: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Install master values at mirrors; returns changed mask."""
+        raise NotImplementedError
+
+    # -- activeness / termination ------------------------------------------
+    def next_active(self, lg: LocalGraph, state) -> np.ndarray:
+        """Active mask for the next round (engine calls after sync)."""
+        raise NotImplementedError
+
+    def local_quiescent_metric(self, lg: LocalGraph, state, active) -> float:
+        """Summed across hosts; 0 means the program terminates."""
+        return float(np.count_nonzero(active))
+
+    # ------------------------------------------------------------------
+    def extract_masters(self, lg: LocalGraph, state) -> np.ndarray:
+        """The canonical per-master result used for verification."""
+        raise NotImplementedError
+
+    def reference(self, graph: CsrGraph, **kwargs) -> np.ndarray:
+        """Single-machine reference solution over the global graph."""
+        raise NotImplementedError
+
+
+def min_relax(
+    lg: LocalGraph,
+    label: np.ndarray,
+    active: np.ndarray,
+    cand_fn,
+) -> ComputeResult:
+    """Shared kernel for the label-minimizing programs (bfs/sssp/cc).
+
+    Relaxes every out-edge of every active local source: candidate values
+    from ``cand_fn(src_ids, edge_slice)`` are scatter-min'd into the
+    targets.  Vectorized: the per-edge selection uses ``np.repeat`` over
+    the CSR degree array — no Python loop over nodes or edges.
+    """
+    active_ids = np.where(active)[0]
+    if len(active_ids) == 0:
+        return ComputeResult(np.empty(0, dtype=np.int64), 0, 0)
+    degs = np.diff(lg.indptr)
+    edge_sel = np.repeat(active, degs)
+    dst = lg.indices[edge_sel]
+    if len(dst) == 0:
+        return ComputeResult(
+            np.empty(0, dtype=np.int64), 0, len(active_ids)
+        )
+    src = lg.edge_sources()[edge_sel]
+    cand = cand_fn(src, edge_sel)
+    before = label[dst]
+    np.minimum.at(label, dst, cand)
+    changed = dst[label[dst] < before]
+    return ComputeResult(
+        np.unique(changed), int(len(dst)), int(len(active_ids))
+    )

@@ -1,0 +1,26 @@
+"""Graph substrate: representation, generators, properties, partitioning.
+
+The paper's inputs (Table I) are clueweb12 (a 978M-node web crawl), kron30
+and rmat28 (synthetic scale-free graphs).  We provide the same three
+*families* at harness-selectable scale: :func:`~repro.graph.generators.rmat`,
+:func:`~repro.graph.generators.kron`, and
+:func:`~repro.graph.generators.webcrawl` (a clueweb-like bowtie power-law
+digraph), plus the partitioning policies the two systems use —
+Gemini's blocked edge-cut and Abelian's cartesian vertex cut
+(:mod:`repro.graph.partition`).
+"""
+
+from repro.graph.csr import CsrGraph
+from repro.graph.generators import rmat, kron, webcrawl, GRAPH_FAMILIES, make_graph
+from repro.graph.properties import GraphProperties, graph_properties
+
+__all__ = [
+    "CsrGraph",
+    "rmat",
+    "kron",
+    "webcrawl",
+    "GRAPH_FAMILIES",
+    "make_graph",
+    "GraphProperties",
+    "graph_properties",
+]

@@ -1,0 +1,79 @@
+"""Graph persistence: binary (.npz) and text edge-list formats."""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.csr import CsrGraph
+
+__all__ = ["save_npz", "load_npz", "save_edgelist", "load_edgelist"]
+
+
+def save_npz(g: CsrGraph, path: str) -> None:
+    """Save a graph (CSR arrays + metadata) to a compressed .npz file."""
+    payload = {
+        "indptr": g.indptr,
+        "indices": g.indices,
+        "num_nodes": np.int64(g.num_nodes),
+        "name": np.bytes_(g.name.encode("utf-8")),
+    }
+    if g.edge_data is not None:
+        payload["edge_data"] = g.edge_data
+    np.savez_compressed(path, **payload)
+
+
+def load_npz(path: str) -> CsrGraph:
+    with np.load(path) as data:
+        edge_data = data["edge_data"] if "edge_data" in data.files else None
+        return CsrGraph(
+            data["indptr"],
+            data["indices"],
+            int(data["num_nodes"]),
+            edge_data=edge_data,
+            name=bytes(data["name"]).decode("utf-8"),
+        )
+
+
+def save_edgelist(g: CsrGraph, path: str, header: bool = True) -> None:
+    """Write a whitespace-separated src dst [weight] text file."""
+    src, dst = g.edges()
+    with open(path, "w") as f:
+        if header:
+            f.write(f"# {g.name} |V|={g.num_nodes} |E|={g.num_edges}\n")
+        if g.edge_data is not None:
+            for s, d, w in zip(src, dst, g.edge_data):
+                f.write(f"{s} {d} {w}\n")
+        else:
+            for s, d in zip(src, dst):
+                f.write(f"{s} {d}\n")
+
+
+def load_edgelist(
+    path: str, num_nodes: Optional[int] = None, name: str = ""
+) -> CsrGraph:
+    """Read a text edge list (lines: ``src dst [weight]``; # comments)."""
+    srcs, dsts, weights = [], [], []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            srcs.append(int(parts[0]))
+            dsts.append(int(parts[1]))
+            if len(parts) > 2:
+                weights.append(int(parts[2]))
+    src = np.array(srcs, dtype=np.int64)
+    dst = np.array(dsts, dtype=np.int64)
+    if num_nodes is None:
+        num_nodes = int(max(src.max(initial=-1), dst.max(initial=-1)) + 1)
+    edge_data = np.array(weights, dtype=np.int64) if weights else None
+    if edge_data is not None and len(edge_data) != len(src):
+        raise ValueError("some edges have weights and some do not")
+    return CsrGraph.from_edges(
+        src, dst, num_nodes, edge_data=edge_data,
+        name=name or os.path.basename(path),
+    )

@@ -1,0 +1,272 @@
+"""Partitioned-graph construction: local graphs, masters/mirrors, and the
+precomputed communication metadata the sync phases run on.
+
+A partition policy supplies two arrays — ``owner`` (node -> master host)
+and ``edge_owner`` (edge -> host) — and :func:`build_partition` does the
+rest: per-host local CSR graphs with masters stored contiguously before
+mirrors (the paper's in-memory layout), plus, for every (host, peer)
+pair, index arrays for the two synchronization patterns:
+
+* ``reduce``  — mirrors *written* by local edges (edge destinations)
+  send to their masters;
+* ``broadcast`` — masters send to mirrors *read* by remote edges (edge
+  sources).
+
+The index arrays on the two sides of a pattern are aligned element-for-
+element, which is the memoized-address-translation trick that lets the
+runtime ship bare value arrays with a bitset instead of (id, value)
+pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CsrGraph
+
+__all__ = ["LocalGraph", "Partition", "build_partition"]
+
+
+class LocalGraph:
+    """One host's share of the partitioned graph.
+
+    Local node ids: masters occupy ``[0, num_masters)``, mirrors follow —
+    both in ascending global-id order.  The CSR arrays are over local ids.
+    """
+
+    def __init__(
+        self,
+        host: int,
+        global_ids: np.ndarray,
+        num_masters: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        edge_data: Optional[np.ndarray] = None,
+    ):
+        self.host = host
+        self.global_ids = global_ids
+        self.num_masters = num_masters
+        self.indptr = indptr
+        self.indices = indices
+        self.edge_data = edge_data
+        #: Masks over local ids: does the node appear as an edge source /
+        #: destination here?  (drives partition-aware sync selection)
+        self.is_edge_src = np.zeros(len(global_ids), dtype=bool)
+        self.is_edge_dst = np.zeros(len(global_ids), dtype=bool)
+        srcs = np.repeat(
+            np.arange(len(global_ids), dtype=np.int64), np.diff(indptr)
+        )
+        self.is_edge_src[srcs] = True
+        self.is_edge_dst[indices] = True
+        self._src_cache = srcs
+
+    @property
+    def num_local(self) -> int:
+        return len(self.global_ids)
+
+    @property
+    def num_mirrors(self) -> int:
+        return self.num_local - self.num_masters
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.indices)
+
+    def edge_sources(self) -> np.ndarray:
+        return self._src_cache
+
+    def is_master(self, local_id) -> bool:
+        return local_id < self.num_masters
+
+    def __repr__(self) -> str:
+        return (
+            f"LocalGraph(host={self.host}, masters={self.num_masters}, "
+            f"mirrors={self.num_mirrors}, edges={self.num_edges})"
+        )
+
+
+@dataclass
+class SyncPair:
+    """Aligned index arrays for one (mirror-host, master-host) pattern.
+
+    ``mirror_ids[i]`` on the mirror host corresponds to ``master_ids[i]``
+    on the master host — same global node, ascending global order.
+    """
+
+    mirror_host: int
+    master_host: int
+    mirror_ids: np.ndarray  # local ids at mirror_host
+    master_ids: np.ndarray  # local ids at master_host
+
+    def __len__(self) -> int:
+        return len(self.mirror_ids)
+
+
+class Partition:
+    """The partitioned graph plus its communication metadata."""
+
+    def __init__(
+        self,
+        graph: CsrGraph,
+        num_hosts: int,
+        owner: np.ndarray,
+        locals_: List[LocalGraph],
+        policy: str,
+    ):
+        self.graph = graph
+        self.num_hosts = num_hosts
+        self.owner = owner
+        self.locals = locals_
+        self.policy = policy
+        #: (mirror_host, master_host) -> SyncPair for the reduce pattern
+        #: (mirrors that local edges *write*, i.e. edge destinations).
+        self.reduce_pairs: Dict[Tuple[int, int], SyncPair] = {}
+        #: (mirror_host, master_host) -> SyncPair for the broadcast
+        #: pattern (mirrors that local edges *read*, i.e. edge sources).
+        self.bcast_pairs: Dict[Tuple[int, int], SyncPair] = {}
+
+    # -- convenience views ---------------------------------------------
+    def local(self, host: int) -> LocalGraph:
+        return self.locals[host]
+
+    def reduce_out(self, host: int) -> List[SyncPair]:
+        """Pairs where ``host`` sends mirror values to masters."""
+        return [
+            sp for (mh, _ph), sp in self.reduce_pairs.items() if mh == host
+        ]
+
+    def reduce_in(self, host: int) -> List[SyncPair]:
+        """Pairs where ``host`` receives mirror values onto its masters."""
+        return [
+            sp for (_mh, ph), sp in self.reduce_pairs.items() if ph == host
+        ]
+
+    def bcast_out(self, host: int) -> List[SyncPair]:
+        """Pairs where ``host`` sends master values to mirrors."""
+        return [
+            sp for (_mh, ph), sp in self.bcast_pairs.items() if ph == host
+        ]
+
+    def bcast_in(self, host: int) -> List[SyncPair]:
+        """Pairs where ``host`` receives master values onto its mirrors."""
+        return [
+            sp for (mh, _ph), sp in self.bcast_pairs.items() if mh == host
+        ]
+
+    def comm_partners(self, host: int) -> set:
+        """All hosts this host exchanges messages with in a full sync."""
+        partners = set()
+        for (mh, ph) in list(self.reduce_pairs) + list(self.bcast_pairs):
+            if mh == host:
+                partners.add(ph)
+            elif ph == host:
+                partners.add(mh)
+        return partners
+
+    def replication_factor(self) -> float:
+        """Average number of proxies per graph node (partition quality)."""
+        total = sum(lg.num_local for lg in self.locals)
+        return total / max(self.graph.num_nodes, 1)
+
+    def __repr__(self) -> str:
+        return (
+            f"Partition({self.policy}, hosts={self.num_hosts}, "
+            f"graph={self.graph.name}, rf={self.replication_factor():.2f})"
+        )
+
+
+def build_partition(
+    graph: CsrGraph,
+    num_hosts: int,
+    owner: np.ndarray,
+    edge_owner: np.ndarray,
+    policy: str,
+) -> Partition:
+    """Materialize local graphs and sync metadata from assignments.
+
+    ``owner``: length |V|, master host of each node.
+    ``edge_owner``: length |E| aligned with the CSR edge order.
+    """
+    owner = np.asarray(owner, dtype=np.int64)
+    edge_owner = np.asarray(edge_owner, dtype=np.int64)
+    if len(owner) != graph.num_nodes:
+        raise ValueError("owner array must cover every node")
+    if len(edge_owner) != graph.num_edges:
+        raise ValueError("edge_owner array must cover every edge")
+    if len(owner) and (owner.min() < 0 or owner.max() >= num_hosts):
+        raise ValueError("owner out of host range")
+
+    all_src = graph.edge_sources()
+    all_dst = graph.indices
+    locals_: List[LocalGraph] = []
+    # Per host: (sorted global ids, matching local ids) for vectorized
+    # global->local translation via searchsorted.
+    g2l_tables: List[Tuple[np.ndarray, np.ndarray]] = []
+
+    for h in range(num_hosts):
+        mask = edge_owner == h
+        esrc = all_src[mask]
+        edst = all_dst[mask]
+        edata = graph.edge_data[mask] if graph.edge_data is not None else None
+
+        owned = np.where(owner == h)[0]
+        endpoints = np.union1d(esrc, edst)
+        mirrors = np.setdiff1d(endpoints, owned, assume_unique=False)
+        masters = owned  # every owned node is materialized as a master
+        global_ids = np.concatenate([masters, mirrors])
+        num_masters = len(masters)
+
+        sort_perm = np.argsort(global_ids, kind="stable")
+        sorted_gids = global_ids[sort_perm]
+        g2l_tables.append((sorted_gids, sort_perm))
+
+        lsrc = sort_perm[np.searchsorted(sorted_gids, esrc)]
+        ldst = sort_perm[np.searchsorted(sorted_gids, edst)]
+        order = np.argsort(lsrc, kind="stable")
+        lsrc, ldst = lsrc[order], ldst[order]
+        if edata is not None:
+            edata = edata[order]
+        counts = np.bincount(lsrc, minlength=len(global_ids))
+        indptr = np.concatenate(([0], np.cumsum(counts)))
+        locals_.append(
+            LocalGraph(h, global_ids, num_masters, indptr, ldst, edata)
+        )
+
+    part = Partition(graph, num_hosts, owner, locals_, policy)
+
+    # ---- sync metadata -------------------------------------------------
+    for h, lg in enumerate(locals_):
+        if lg.num_mirrors == 0:
+            continue
+        mirror_slice = slice(lg.num_masters, lg.num_local)
+        mirror_globals = lg.global_ids[mirror_slice]
+        mirror_locals = np.arange(lg.num_masters, lg.num_local, dtype=np.int64)
+        mirror_owners = owner[mirror_globals]
+        for kind, mask in (
+            ("reduce", lg.is_edge_dst[mirror_slice]),
+            ("bcast", lg.is_edge_src[mirror_slice]),
+        ):
+            if not mask.any():
+                continue
+            sel_globals = mirror_globals[mask]
+            sel_locals = mirror_locals[mask]
+            sel_owners = mirror_owners[mask]
+            for p in np.unique(sel_owners):
+                p = int(p)
+                pick = sel_owners == p
+                gids = sel_globals[pick]
+                lids = sel_locals[pick]
+                # ascending-global order on both sides for alignment
+                srt = np.argsort(gids)
+                gids, lids = gids[srt], lids[srt]
+                sorted_gids, sort_perm = g2l_tables[p]
+                master_lids = sort_perm[np.searchsorted(sorted_gids, gids)]
+                sp = SyncPair(h, p, lids, master_lids)
+                if kind == "reduce":
+                    part.reduce_pairs[(h, p)] = sp
+                else:
+                    part.bcast_pairs[(h, p)] = sp
+    return part

@@ -1,0 +1,44 @@
+"""Graph property reports — the columns of the paper's Table I."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.csr import CsrGraph
+
+__all__ = ["GraphProperties", "graph_properties"]
+
+
+@dataclass(frozen=True)
+class GraphProperties:
+    """|V|, |E|, average degree, and degree extremes."""
+
+    name: str
+    num_nodes: int
+    num_edges: int
+    avg_degree: float
+    max_out_degree: int
+    max_in_degree: int
+
+    def as_row(self) -> dict:
+        return {
+            "graph": self.name,
+            "|V|": self.num_nodes,
+            "|E|": self.num_edges,
+            "|E|/|V|": round(self.avg_degree, 1),
+            "max D_out": self.max_out_degree,
+            "max D_in": self.max_in_degree,
+        }
+
+
+def graph_properties(g: CsrGraph) -> GraphProperties:
+    out_deg = g.out_degree()
+    in_deg = g.in_degrees()
+    return GraphProperties(
+        name=g.name,
+        num_nodes=g.num_nodes,
+        num_edges=g.num_edges,
+        avg_degree=g.num_edges / max(g.num_nodes, 1),
+        max_out_degree=int(out_deg.max()) if len(out_deg) else 0,
+        max_in_degree=int(in_deg.max()) if len(in_deg) else 0,
+    )

@@ -1,0 +1,36 @@
+"""LCI — the Lightweight Communication Interface (the paper's contribution).
+
+LCI replaces MPI's matching/ordering machinery with four small pieces:
+
+* a **locality-aware concurrent packet pool** bounding injection and memory
+  (:mod:`repro.lci.packet_pool`),
+* a **fetch-and-add based MPMC queue** delivering incoming packets to
+  compute threads in first-packet order (:mod:`repro.lci.mpmc_queue`),
+* **requests completed by a plain boolean flag** — no library call to
+  observe completion (:mod:`repro.lci.request`),
+* a **communication server** that drains the NIC and runs per-packet-type
+  callbacks (:mod:`repro.lci.server`, Algorithm 3).
+
+The user-facing *Queue interface* — ``SEND-ENQ`` (Algorithm 1) and
+``RECV-DEQ`` (Algorithm 2) — lives in :mod:`repro.lci.queue_iface`.
+Initiation can fail (pool empty / nothing pending); failure is not fatal,
+the caller simply retries — this is LCI's answer to MPI's
+resource-exhaustion crashes.
+"""
+
+from repro.lci.config import LciConfig
+from repro.lci.request import LciRequest, RequestStatus
+from repro.lci.packet_pool import PacketPool
+from repro.lci.mpmc_queue import MpmcQueue
+from repro.lci.queue_iface import LciQueue
+from repro.lci.server import LciRuntime
+
+__all__ = [
+    "LciConfig",
+    "LciRequest",
+    "RequestStatus",
+    "PacketPool",
+    "MpmcQueue",
+    "LciQueue",
+    "LciRuntime",
+]

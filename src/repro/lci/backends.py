@@ -1,0 +1,84 @@
+"""Network-backend models for LCI's portability layer.
+
+The paper: "We have implemented LCI on top of ibverbs, psm2, and
+Libfabric, which is sufficient for LCI to run on almost all modern
+platforms" — with lc_send / lc_put mapping differently on each:
+
+* **psm2** (Omni-Path's native API): ``lc_put`` is implemented *by
+  translating target identification to a special tag* — psm2's 96-bit
+  tag matching does the address translation, at a small per-put tag
+  processing cost, while plain sends ride the native path.
+* **ibverbs-rc** (Infiniband reliable connection): both primitives map
+  directly to ``ibv_post_send`` (IBV_WR_SEND / IBV_WR_RDMA_WRITE);
+  RDMA writes are native and cheap, but every remote buffer needs
+  registration (modeled as a one-time cost charged at first use).
+* **libfabric**: the generic provider interface adds a thin dispatch
+  layer on every operation (the price of portability).
+
+Backends perturb only LCI's *software* costs per operation; the wire
+(the NIC model) is unchanged, which mirrors how the backends share the
+same fabric on a given machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["Backend", "BACKENDS", "psm2", "ibverbs", "libfabric"]
+
+NS = 1e-9
+
+
+@dataclass(frozen=True)
+class Backend:
+    """Per-operation software cost deltas of one network API."""
+
+    name: str
+    #: Extra cost per lc_send (API dispatch above the NIC doorbell).
+    send_extra: float
+    #: Extra cost per lc_put (address translation / tag construction).
+    put_extra: float
+    #: Extra cost per progress-poll harvest.
+    progress_extra: float
+    #: One-time per-peer cost charged at the first put towards a peer
+    #: (memory registration / rkey exchange for verbs-style APIs).
+    first_put_setup: float
+
+
+def psm2() -> Backend:
+    """Omni-Path native: cheap sends; puts pay tag translation."""
+    return Backend(
+        name="psm2",
+        send_extra=20 * NS,
+        put_extra=90 * NS,   # target id -> 96-bit matchbits
+        progress_extra=25 * NS,
+        first_put_setup=0.0,  # tag-based: no registration handshake
+    )
+
+
+def ibverbs() -> Backend:
+    """Infiniband RC: native RDMA writes; registration at first use."""
+    return Backend(
+        name="ibverbs",
+        send_extra=35 * NS,
+        put_extra=30 * NS,   # direct IBV_WR_RDMA_WRITE
+        progress_extra=30 * NS,
+        first_put_setup=900 * NS,  # ibv_reg_mr + rkey exchange, once/peer
+    )
+
+
+def libfabric() -> Backend:
+    """Generic provider layer: a dispatch hop on everything."""
+    return Backend(
+        name="libfabric",
+        send_extra=55 * NS,
+        put_extra=70 * NS,
+        progress_extra=50 * NS,
+        first_put_setup=400 * NS,
+    )
+
+
+BACKENDS: Dict[str, Backend] = {
+    b.name: b for b in (psm2(), ibverbs(), libfabric())
+}

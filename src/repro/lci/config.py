@@ -1,0 +1,48 @@
+"""LCI runtime configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["LciConfig"]
+
+
+@dataclass(frozen=True)
+class LciConfig:
+    """Tunables of the LCI runtime.
+
+    Defaults follow the paper's description: the eager/rendezvous switch at
+    the packet payload size, and a packet pool whose size is "typically a
+    small constant times the number of hosts" — it bounds both the
+    injection rate and the communication-buffer memory footprint.
+    """
+
+    #: Payload bytes carried inline by one eager packet (the short-protocol
+    #: threshold).  Kept equal to the MPI presets' eager limits so the
+    #: protocol switch point is not a confounder in comparisons.
+    packet_data_bytes: int = 16 * 1024
+    #: Packets in the pool per host, as a multiple of the host count.
+    pool_packets_per_host: int = 8
+    #: Lower bound on the pool size regardless of host count.
+    pool_packets_min: int = 64
+    #: Size of each thread's private free-packet cache (locality-aware
+    #: pool of [16]); hits cost a fraction of an atomic.
+    local_cache_packets: int = 4
+    #: Fraction of a full atomic-op cost paid on a local-cache hit.
+    local_hit_cost_factor: float = 0.25
+    #: Backoff (seconds) a caller sleeps before retrying a failed
+    #: initiation.  Abelian's comm thread uses its own loop; this default
+    #: is for the convenience blocking wrappers.
+    retry_backoff: float = 2e-7
+    #: If True (ablation), the receive queue enforces sender-FIFO ordering
+    #: like MPI instead of first-packet order.
+    enforce_ordering: bool = False
+    #: Network backend: "psm2", "ibverbs", or "libfabric" (the three the
+    #: paper implemented LCI over; see :mod:`repro.lci.backends`).
+    backend: str = "psm2"
+
+    def pool_size(self, num_hosts: int) -> int:
+        return max(self.pool_packets_min, self.pool_packets_per_host * num_hosts)
+
+    def with_(self, **kw) -> "LciConfig":
+        return replace(self, **kw)

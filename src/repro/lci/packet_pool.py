@@ -1,0 +1,183 @@
+"""Locality-aware concurrent packet pool.
+
+The pool is the flow-control heart of LCI: it holds a *fixed* number of
+packets per host, so memory for communication buffers is bounded for the
+whole run (Fig. 5) and a sender that outruns the network simply fails to
+allocate and retries (no MPI-style crash).  The locality-aware design
+(the paper's reference [16]) gives each thread a small private cache of
+free packets: a cache hit costs a fraction of an atomic op and reuses a
+warm buffer, a miss falls back to the shared lock-free pool at full
+atomic cost.
+
+Allocation is non-blocking and can return ``None``; that is the API
+contract (Algorithm 1 returns NULL when ``packetAlloc`` fails).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.netapi.packet import Packet, PacketType
+from repro.sim.engine import Environment, Event
+from repro.sim.machine import CpuModel
+from repro.sim.monitor import StatRegistry
+
+__all__ = ["PacketPool"]
+
+
+class PacketPool:
+    """Fixed-size pool of reusable packet buffers for one host."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cpu: CpuModel,
+        size: int,
+        packet_data_bytes: int,
+        local_cache_packets: int = 4,
+        local_hit_cost_factor: float = 0.25,
+        rx_reserve: int = 2,
+        stats: Optional[StatRegistry] = None,
+    ):
+        """``rx_reserve`` packets are usable only by the receive path
+        (the communication server's preposted buffers): send-side
+        allocations fail once the shared pool drops to the reserve.
+        This guarantees the server can always accept arrivals, breaking
+        the cyclic rendezvous deadlock a fully-starved symmetric pool
+        would otherwise allow (every budget parked in an outgoing RTS,
+        no host able to accept the incoming ones).
+        """
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        if rx_reserve >= size:
+            rx_reserve = max(0, size - 1)
+        self.env = env
+        self.cpu = cpu
+        self.size = size
+        self.rx_reserve = rx_reserve
+        self.packet_data_bytes = packet_data_bytes
+        self.local_cache_packets = local_cache_packets
+        self.local_hit_cost_factor = local_hit_cost_factor
+        self.stats = stats or StatRegistry("lci.pool")
+        #: Free descriptors in the shared pool (counts, not objects: the
+        #: Packet object itself is remade per message; the *budget* is
+        #: what the pool manages).
+        self._free = size
+        #: thread-key -> private free count.
+        self._local: Dict[object, int] = {}
+        self._availability_waiters: List[Event] = []
+        # Memory accounting: the pool preallocates all its buffers once.
+        self.stats.peak("pool_bytes").add(size * packet_data_bytes)
+
+    # ------------------------------------------------------------------
+    @property
+    def free_packets(self) -> int:
+        return self._free + sum(self._local.values())
+
+    @property
+    def in_use(self) -> int:
+        return self.size - self.free_packets
+
+    def bytes_allocated(self) -> int:
+        """Total preallocated communication-buffer bytes (constant)."""
+        return self.size * self.packet_data_bytes
+
+    # ------------------------------------------------------------------
+    def alloc(self, thread: object = None, for_recv: bool = False):
+        """Generator: try to take a packet budget; returns bool success.
+
+        Charges a fraction of an atomic on a local-cache hit, a full
+        atomic on a shared-pool hit, and a full atomic on failure (the
+        failed fetch still crossed the cache line).  Send-side allocs
+        (``for_recv=False``) cannot dip into the receive reserve.
+        """
+        local = self._local.get(thread, 0)
+        if thread is not None and local > 0:
+            self._local[thread] = local - 1
+            self.stats.counter("alloc_local_hits").add()
+            yield self.env.timeout(
+                self.cpu.atomic_op * self.local_hit_cost_factor
+            )
+            return True
+        yield self.env.timeout(self.cpu.atomic_op)
+        floor = 0 if for_recv else self.rx_reserve
+        if self._free > floor:
+            self._free -= 1
+            self.stats.counter("alloc_global_hits").add()
+            return True
+        # Steal path: the shared pool is at its floor but other threads'
+        # private caches may hold free packets; raid the fullest cache
+        # (an extra atomic — the locality-aware pool's slow path).
+        # Send-side steals still honour the receive reserve against the
+        # *total* free count.
+        if for_recv or self.free_packets > self.rx_reserve:
+            victim = None
+            for key, count in self._local.items():
+                if count > 0 and (victim is None or count > self._local[victim]):
+                    victim = key
+            if victim is not None:
+                self._local[victim] -= 1
+                self.stats.counter("alloc_steals").add()
+                yield self.env.timeout(self.cpu.atomic_op)
+                return True
+        self.stats.counter("alloc_failures").add()
+        return False
+
+    def free(self, thread: object = None):
+        """Generator: return a packet budget to the pool."""
+        if thread is not None:
+            local = self._local.get(thread, 0)
+            if local < self.local_cache_packets:
+                self._local[thread] = local + 1
+                self.stats.counter("free_local").add()
+                yield self.env.timeout(
+                    self.cpu.atomic_op * self.local_hit_cost_factor
+                )
+                self._wake()
+                return
+        yield self.env.timeout(self.cpu.atomic_op)
+        self._free += 1
+        self.stats.counter("free_global").add()
+        self._wake()
+
+    def free_nowait(self, thread: object = None) -> None:
+        """Zero-cost variant for completion callbacks (cost was prepaid by
+        the operation that armed the callback)."""
+        if thread is not None:
+            local = self._local.get(thread, 0)
+            if local < self.local_cache_packets:
+                self._local[thread] = local + 1
+                self._wake()
+                return
+        self._free += 1
+        self._wake()
+
+    def _wake(self) -> None:
+        if self._availability_waiters:
+            waiters, self._availability_waiters = self._availability_waiters, []
+            for ev in waiters:
+                ev.succeed(None)
+
+    def wait_available(self, for_recv: bool = False) -> Event:
+        """Event firing when a free packet may be available (helper for
+        blocking wrappers; the core API stays non-blocking).  Send-side
+        waiters only fire once the pool is above the receive reserve."""
+        ev = Event(self.env)
+        if for_recv:
+            ready = self.free_packets > 0
+        else:
+            ready = self.free_packets > self.rx_reserve
+        if ready:
+            ev.succeed(None)
+        else:
+            self._availability_waiters.append(ev)
+        return ev
+
+    def make_packet(
+        self, ptype: PacketType, src: int, dst: int, tag: int, size: int,
+        payload=None,
+    ) -> Packet:
+        """Build a packet descriptor drawing on an already-allocated budget."""
+        pkt = Packet(ptype, src, dst, tag, size, payload=payload)
+        pkt.pool = self
+        return pkt

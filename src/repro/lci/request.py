@@ -1,0 +1,78 @@
+"""LCI requests: completion is a flag read, not a library call.
+
+The paper (Section III-D): "In comparison to MPI functions such as
+MPI_TEST or MPI_WAIT, our mechanism is more lightweight: there is no need
+for a function call; the user maintains a list of requests and checks the
+status flag fields."  Accordingly :attr:`LciRequest.done` is a plain
+attribute — reading it charges *zero* simulated time, while
+:meth:`repro.mpi.endpoint.MpiEndpoint.test` charges a call plus a progress
+pass.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any, Callable, List
+
+__all__ = ["RequestStatus", "LciRequest"]
+
+_req_ids = itertools.count()
+
+
+class RequestStatus(enum.Enum):
+    PENDING = "pending"
+    DONE = "done"
+
+
+class LciRequest:
+    """Record of one ongoing communication, tied to a packet for flow
+    control (Algorithm 1's ``makeRequest``)."""
+
+    __slots__ = (
+        "uid",
+        "kind",
+        "peer",
+        "tag",
+        "size",
+        "status",
+        "payload",
+        "_completion_cbs",
+    )
+
+    def __init__(self, kind: str, peer: int, tag: int, size: int):
+        self.uid = next(_req_ids)
+        self.kind = kind  # "send" | "recv"
+        self.peer = peer
+        self.tag = tag
+        self.size = size
+        self.status = RequestStatus.PENDING
+        self.payload: Any = None
+        self._completion_cbs: List[Callable[["LciRequest"], None]] = []
+
+    @property
+    def done(self) -> bool:
+        """Free status check — the whole point of the design."""
+        return self.status is RequestStatus.DONE
+
+    def on_complete(self, cb: Callable[["LciRequest"], None]) -> None:
+        if self.done:
+            cb(self)
+        else:
+            self._completion_cbs.append(cb)
+
+    def _complete(self, payload: Any = None) -> None:
+        if self.done:
+            raise RuntimeError(f"LCI request {self.uid} completed twice")
+        if payload is not None:
+            self.payload = payload
+        self.status = RequestStatus.DONE
+        cbs, self._completion_cbs = self._completion_cbs, []
+        for cb in cbs:
+            cb(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"LciRequest(#{self.uid} {self.kind} peer={self.peer} "
+            f"tag={self.tag} size={self.size} {self.status.value})"
+        )

@@ -1,0 +1,197 @@
+"""The LCI communication server (Algorithm 3) and the per-host runtime.
+
+One server process runs per host.  It drains the NIC (``lc_progress``)
+and executes a short callback per packet type:
+
+* ``EGR`` / ``RTS`` — enqueue onto the MPMC queue for compute threads to
+  ``recv_deq`` (first-packet order).  Before enqueueing an arrival the
+  server takes a packet budget from the pool — the fixed set of preposted
+  receive buffers; when the pool is dry the server stalls, which is the
+  backpressure that protects the host from being overrun (instead of the
+  MPI failure mode).
+* ``RTR`` — the rendezvous reply addressed to one of *our* pending sends:
+  the server turns the packet into an RDMA put of the advertised data
+  (``p.type := RDMA; lc_put``).
+* ``RDMA`` — the bulk data landed: flip the receive request's flag and
+  free the packet back to the pool.
+
+The interaction between the server and compute threads is only the
+request flag and the lock-free queue — "limited to a single flag", as the
+paper puts it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.lci.config import LciConfig
+from repro.lci.queue_iface import LciQueue
+from repro.netapi.nic import Fabric, Nic
+from repro.netapi.packet import Packet, PacketType
+from repro.sim.engine import Environment, Process
+from repro.sim.machine import CpuModel
+
+__all__ = ["LciRuntime"]
+
+
+class LciRuntime(LciQueue):
+    """LciQueue plus the communication-server process."""
+
+    def __init__(
+        self,
+        env: Environment,
+        rank: int,
+        nic: Nic,
+        cpu: CpuModel,
+        num_hosts: int,
+        config: Optional[LciConfig] = None,
+        auto_start: bool = True,
+    ):
+        super().__init__(env, rank, nic, cpu, num_hosts, config=config)
+        self._server_proc: Optional[Process] = None
+        self._stopping = False
+        #: Sibling runtimes, indexed by rank (set by create_world).
+        self.peers: Optional[List["LciRuntime"]] = None
+        #: Per-source rkeys of this host's rendezvous landing regions.
+        self._sink_rkeys: dict = {}
+        #: Peers we have already paid the backend's first-put setup for.
+        self._put_ready: set = set()
+        if auto_start:
+            self.start_server()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create_world(
+        cls,
+        env: Environment,
+        fabric: Fabric,
+        config: Optional[LciConfig] = None,
+        auto_start: bool = True,
+    ) -> List["LciRuntime"]:
+        """One runtime per host of the fabric, wired as peers."""
+        runtimes = [
+            cls(
+                env,
+                rank,
+                fabric.nic(rank),
+                fabric.machine.cpu,
+                fabric.num_hosts,
+                config=config,
+                auto_start=auto_start,
+            )
+            for rank in range(fabric.num_hosts)
+        ]
+        for rt in runtimes:
+            rt.peers = runtimes
+        return runtimes
+
+    def start_server(self) -> Process:
+        if self._server_proc is None or not self._server_proc.is_alive:
+            self._stopping = False
+            self._server_proc = self.env.process(
+                self._server_loop(), name=f"lci-server-{self.rank}"
+            )
+        return self._server_proc
+
+    def stop_server(self) -> None:
+        """Ask the server loop to exit at its next idle point."""
+        self._stopping = True
+        if self._server_proc is not None and self._server_proc.is_alive:
+            self._server_proc.interrupt("stop")
+
+    # ------------------------------------------------------------------
+    # Algorithm 3: NETWORK-PROGRESS, run forever by the server
+    # ------------------------------------------------------------------
+    def _server_loop(self):
+        from repro.sim.engine import Interrupt
+
+        try:
+            while not self._stopping:
+                pkt = self.nic.poll()
+                if pkt is None:
+                    yield self.nic.wait_arrival()
+                    continue
+                self.stats.counter("server_pkts").add()
+                # Harvesting one completion from the NIC.
+                yield self.env.timeout(
+                    self.nic.model.recv_overhead
+                    + self.backend.progress_extra
+                )
+                yield from self._handle(pkt)
+        except Interrupt:
+            return
+
+    def _handle(self, pkt: Packet):
+        if pkt.ptype in (PacketType.EGR, PacketType.RTS):
+            # Take a receive-buffer budget; stall (backpressure) if dry.
+            # Receive allocs may use the reserve the send path cannot.
+            while True:
+                ok = yield from self.pool.alloc(for_recv=True)
+                if ok:
+                    break
+                self.stats.counter("server_pool_stalls").add()
+                yield self.pool.wait_available(for_recv=True)
+            yield from self.queue.enqueue(pkt)
+        elif pkt.ptype is PacketType.RTR:
+            yield from self._serve_rtr(pkt)
+        elif pkt.ptype is PacketType.RDMA:
+            recv_req = pkt.meta["recv_req"]
+            recv_req._complete(pkt.payload)
+            # packetFree(P, p): the budget taken when the RTS arrived.
+            yield from self.pool.free()
+            self.stats.counter("rdma_recvs").add()
+        else:  # pragma: no cover - exhaustive over PacketType
+            raise RuntimeError(f"server cannot handle {pkt!r}")
+
+    def _serve_rtr(self, pkt: Packet):
+        """p.type := RDMA; lc_put(p) — start the bulk transfer."""
+        send_req = pkt.meta["send_req"]
+        rdma = Packet(
+            PacketType.RDMA,
+            self.rank,
+            pkt.src,
+            pkt.tag,
+            send_req.size,
+            payload=pkt.meta["data"],
+        )
+        rdma.meta["recv_req"] = pkt.meta["recv_req"]
+        rdma.meta["rkey"] = self._put_sink_rkey(pkt.src)
+
+        def _acked() -> None:
+            send_req._complete()
+            # The RTS's pool budget is released now the data is delivered.
+            self.pool.free_nowait()
+
+        put_cost = self.nic.model.send_overhead + self.backend.put_extra
+        if pkt.src not in self._put_ready:
+            # Memory registration / rkey exchange, once per peer.
+            put_cost += self.backend.first_put_setup
+            self._put_ready.add(pkt.src)
+        yield self.env.timeout(put_cost)
+        while not self.nic.try_inject(rdma, on_local_complete=_acked):
+            self.stats.counter("rdma_tx_retries").add()
+            yield self.env.timeout(4 * self.nic.model.injection_gap)
+        self.stats.counter("rdma_puts").add()
+
+    # ------------------------------------------------------------------
+    # RDMA sink registration (address translation for lc_put)
+    # ------------------------------------------------------------------
+    def _put_sink_rkey(self, dst: int) -> int:
+        """rkey of the peer's landing region for our rendezvous payloads.
+
+        In the real implementation the RTR carries the receiver's buffer
+        address/key ("a host and key for address translation enclosed in
+        the packet"); here the peer runtime registers one logical sink
+        region per source on demand and caches the key.
+        """
+        if self.peers is None:
+            raise RuntimeError(
+                "LciRuntime.peers not wired; create runtimes via create_world"
+            )
+        peer = self.peers[dst]
+        rkey = peer._sink_rkeys.get(self.rank)
+        if rkey is None:
+            buf = peer.nic.register(1 << 40, label=f"lci-sink<-{self.rank}")
+            rkey = buf.rkey
+            peer._sink_rkeys[self.rank] = rkey
+        return rkey

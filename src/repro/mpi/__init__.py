@@ -1,0 +1,46 @@
+"""Simulated MPI implementation.
+
+This package is the reproduction's stand-in for MVAPICH2 / IntelMPI /
+OpenMPI: a message-passing library with MPI's *semantics* — FIFO
+per-(source, tag) matching, wildcard receives, eager/rendezvous protocols,
+probe, request/test/wait completion, thread modes, and one-sided windows
+with generalized active-target synchronization — implemented over the same
+simulated NIC API (:mod:`repro.netapi`) that LCI uses.
+
+The costs that make MPI slower than LCI for irregular graph communication
+are *mechanistic*, not hard-coded: match-queue traversal charges per
+element inspected, probing adds calls to the progress engine, ordering
+forces FIFO traversal, ``MPI_THREAD_MULTIPLE`` serializes every call
+through a lock, and eager-buffer exhaustion either stalls or aborts
+depending on the implementation preset (Section III-B of the paper).
+
+Vendor differences are captured by :class:`~repro.mpi.config.MpiConfig`
+presets in :mod:`repro.mpi.presets` (Table IV of the paper).
+"""
+
+from repro.mpi.exceptions import MPIError, MPIResourceExhausted, MPIUsageError
+from repro.mpi.config import MpiConfig, ThreadMode
+from repro.mpi.presets import MPI_PRESETS, intel_mpi, mvapich2, openmpi
+from repro.mpi.types import MpiRequest, MpiStatus, ANY_SOURCE, ANY_TAG
+from repro.mpi.endpoint import MpiEndpoint
+from repro.mpi.world import MpiWorld
+from repro.mpi.rma import MpiWindow
+
+__all__ = [
+    "MPIError",
+    "MPIResourceExhausted",
+    "MPIUsageError",
+    "MpiConfig",
+    "ThreadMode",
+    "MPI_PRESETS",
+    "intel_mpi",
+    "mvapich2",
+    "openmpi",
+    "MpiRequest",
+    "MpiStatus",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "MpiEndpoint",
+    "MpiWorld",
+    "MpiWindow",
+]

@@ -1,0 +1,105 @@
+"""MPI implementation configuration.
+
+A :class:`MpiConfig` captures the tunables that distinguish one MPI
+implementation from another for the communication patterns in this paper:
+protocol switch points, matching costs, threading costs, progress
+behaviour, buffer provisioning, and RMA efficiency.  Presets approximating
+IntelMPI, MVAPICH2 and OpenMPI live in :mod:`repro.mpi.presets`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+__all__ = ["ThreadMode", "MpiConfig"]
+
+US = 1e-6
+NS = 1e-9
+
+
+class ThreadMode(enum.Enum):
+    """MPI thread support levels relevant to the paper.
+
+    * ``FUNNELED`` — only the designated communication thread calls MPI;
+      no locking inside the library (used by the MPI-Probe layer).
+    * ``MULTIPLE`` — any thread may call MPI; every call serializes
+      through the library's global lock (used by the MPI-RMA layer and
+      by Gemini's original runtime).
+    """
+
+    FUNNELED = "funneled"
+    MULTIPLE = "multiple"
+
+
+@dataclass(frozen=True)
+class MpiConfig:
+    """Cost/behaviour parameters of a simulated MPI implementation."""
+
+    name: str
+    #: Messages at or below this payload size use the eager protocol.
+    eager_limit: int
+    #: Simulated cost charged per element traversed in the posted-receive
+    #: queue when matching an arriving message.
+    match_cost_per_element: float
+    #: Simulated cost per element traversed in the unexpected-message
+    #: queue when posting a receive or probing.
+    unexpected_cost_per_element: float
+    #: Fixed software overhead of entering any MPI call (descriptor
+    #: checks, communicator lookup, error handling), *in addition to* the
+    #: machine's generic call overhead.
+    call_overhead: float
+    #: Cost of one MPI_Iprobe call body (excludes progress-engine work).
+    probe_overhead: float
+    #: Cost of one MPI_Test call body.
+    test_overhead: float
+    #: Cost of one pass of the internal progress engine (draining the NIC).
+    progress_overhead: float
+    #: Lock acquire+release cost added to every call in THREAD_MULTIPLE
+    #: (on top of contention queueing, which the simulation produces).
+    thread_multiple_lock_cost: float
+    #: Per-destination eager-buffer credits.  Each un-matched eager message
+    #: parked at the receiver consumes one; exhaustion stalls or aborts.
+    eager_credits_per_peer: int
+    #: If True, running out of eager credits aborts (segfault/hang in the
+    #: field); if False, the sender stalls until credits return.
+    crash_on_exhaustion: bool
+    #: Extra copy at the sender for eager messages (bounce buffer), as a
+    #: multiple of the memcpy time (1.0 = one full extra copy).
+    eager_copy_factor: float
+    #: Cost of initiating MPI_Put (descriptor + window bounds check).
+    rma_put_overhead: float
+    #: Cost of each window-synchronization call (post/start/complete/wait).
+    rma_sync_overhead: float
+    #: Cost of creating a window, per participating rank.
+    win_create_cost_per_rank: float
+    #: Software pipelining efficiency of large transfers, 0 < eff <= 1;
+    #: effective bandwidth is NIC bandwidth times this.
+    bandwidth_efficiency: float
+
+    def with_(self, **kw) -> "MpiConfig":
+        """Copy with overrides (ablation / sensitivity studies)."""
+        return replace(self, **kw)
+
+    def scaled(self, factor: float) -> "MpiConfig":
+        """Scale all software costs by ``factor``.
+
+        The preset costs are calibrated for KNL's slow in-order cores
+        (Stampede2); a faster CPU executes the same library code
+        proportionally quicker, e.g. ``scaled(0.4)`` for Sandy Bridge.
+        Protocol constants (eager limit, credits) are unchanged.
+        """
+        return replace(
+            self,
+            name=self.name,
+            match_cost_per_element=self.match_cost_per_element * factor,
+            unexpected_cost_per_element=self.unexpected_cost_per_element * factor,
+            call_overhead=self.call_overhead * factor,
+            probe_overhead=self.probe_overhead * factor,
+            test_overhead=self.test_overhead * factor,
+            progress_overhead=self.progress_overhead * factor,
+            thread_multiple_lock_cost=self.thread_multiple_lock_cost * factor,
+            rma_put_overhead=self.rma_put_overhead * factor,
+            rma_sync_overhead=self.rma_sync_overhead * factor,
+            win_create_cost_per_rank=self.win_create_cost_per_rank * factor,
+        )

@@ -1,0 +1,478 @@
+"""Per-host MPI endpoint: two-sided p2p, probe, and the progress engine.
+
+Every public operation is a *generator* to be driven by a simulated
+process (``req = yield from ep.isend(...)``); the generator charges the
+calling thread the modeled software costs as it executes.  This mirrors
+reality: MPI work happens on whichever thread enters the library.
+
+Protocol summary (matching mainstream implementations over psm2/verbs):
+
+* payload <= ``eager_limit``: **eager** — the data travels in one packet;
+  the sender copies through a bounce buffer and the request completes as
+  soon as the NIC accepts the descriptor.  Each eager message parks in a
+  receiver-side buffer until matched; those buffers are per-peer credits,
+  and exhaustion stalls or aborts depending on the implementation preset
+  (the failure mode Section III-B describes).
+* payload >  ``eager_limit``: **rendezvous** — RTS control packet; the
+  receiver answers with RTR once a matching receive is posted; the sender's
+  progress engine then issues an RDMA put of the payload; the receive
+  completes when the RDMA packet arrives.
+
+Matching traverses the posted-receive / unexpected queues front-to-back,
+charging per element inspected (:mod:`repro.mpi.matching`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.mpi.config import MpiConfig, ThreadMode
+from repro.mpi.exceptions import MPIResourceExhausted, MPIUsageError
+from repro.mpi.matching import (
+    PostedQueue,
+    PostedReceive,
+    UnexpectedMessage,
+    UnexpectedQueue,
+)
+from repro.mpi.types import ANY_SOURCE, ANY_TAG, MpiRequest, MpiStatus
+from repro.netapi.nic import Nic
+from repro.netapi.packet import Packet, PacketType
+from repro.sim.engine import Environment, Event
+from repro.sim.machine import CpuModel
+from repro.sim.monitor import StatRegistry
+from repro.sim.resources import Lock
+
+__all__ = ["MpiEndpoint"]
+
+#: Internal tag used by the world barrier.
+_BARRIER_TAG = -2
+
+
+class MpiEndpoint:
+    """One rank's view of the simulated MPI library."""
+
+    def __init__(
+        self,
+        env: Environment,
+        rank: int,
+        nic: Nic,
+        cpu: CpuModel,
+        config: MpiConfig,
+        thread_mode: ThreadMode = ThreadMode.FUNNELED,
+        stats: Optional[StatRegistry] = None,
+    ):
+        self.env = env
+        self.rank = rank
+        self.nic = nic
+        self.cpu = cpu
+        self.config = config
+        self.thread_mode = thread_mode
+        self.stats = stats or StatRegistry(f"mpi.rank{rank}")
+
+        self.posted = PostedQueue()
+        self.unexpected = UnexpectedQueue()
+
+        # Eager flow control: credits per destination.
+        self._credits: Dict[int, int] = {}
+        self._credit_waiters: Dict[int, List[Event]] = {}
+
+        # THREAD_MULTIPLE: all calls serialize through this lock.
+        self._lock = Lock(env, acquire_cost=config.thread_multiple_lock_cost)
+
+        # FUNNELED enforcement: the identity of the one thread allowed in.
+        self.funneled_owner: Optional[object] = None
+
+        # RMA control-message handlers, registered by MpiWindow.
+        self._rma_handlers: Dict[int, Callable[[Packet], None]] = {}
+
+        # Barrier plumbing (used by MpiWorld.barrier).
+        self._barrier_msgs: Deque[Tuple[int, Any]] = deque()
+        self._barrier_waiters: List[Event] = []
+
+        # Per-source sink buffers for rendezvous RDMA (lazily registered).
+        self._rndv_sinks: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Cost & locking helpers
+    # ------------------------------------------------------------------
+    def _charge(self, seconds: float):
+        if seconds > 0:
+            yield self.env.timeout(seconds)
+
+    def _enter(self, thread: Optional[object]):
+        """Pay the cost of entering the library under the thread mode."""
+        yield from self._charge(self.cpu.call_overhead + self.config.call_overhead)
+        if self.thread_mode is ThreadMode.MULTIPLE:
+            yield from self._lock.acquire()
+        elif thread is not None:
+            if self.funneled_owner is None:
+                self.funneled_owner = thread
+            elif self.funneled_owner is not thread:
+                raise MPIUsageError(
+                    f"rank {self.rank}: MPI_THREAD_FUNNELED violated — "
+                    f"thread {thread!r} called MPI but {self.funneled_owner!r} owns it"
+                )
+
+    def _exit(self):
+        if self.thread_mode is ThreadMode.MULTIPLE:
+            self._lock.release()
+
+    # ------------------------------------------------------------------
+    # Eager credits
+    # ------------------------------------------------------------------
+    def _credits_to(self, dst: int) -> int:
+        return self._credits.setdefault(dst, self.config.eager_credits_per_peer)
+
+    def _consume_credit(self, dst: int):
+        """Generator: take one eager credit to ``dst``, stalling or aborting."""
+        while self._credits_to(dst) <= 0:
+            if self.config.crash_on_exhaustion:
+                self.stats.counter("eager_exhaustion_aborts").add()
+                raise MPIResourceExhausted(
+                    f"rank {self.rank}: eager buffers to rank {dst} exhausted "
+                    f"({self.config.name} aborts on resource exhaustion)"
+                )
+            self.stats.counter("eager_stalls").add()
+            ev = Event(self.env)
+            self._credit_waiters.setdefault(dst, []).append(ev)
+            yield ev
+        self._credits[dst] -= 1
+
+    def _credit_home(self, dst: int) -> None:
+        """Schedule the return of one eager credit for destination ``dst``.
+
+        Credit returns are piggybacked on reverse traffic in real stacks;
+        we model them as arriving one wire latency after consumption with
+        no extra packet events.
+        """
+
+        def _arrive() -> None:
+            self._credits[dst] = self._credits_to(dst) + 1
+            waiters = self._credit_waiters.get(dst)
+            if waiters:
+                waiters.pop(0).succeed(None)
+
+        self.env.schedule_callback(self.nic.model.latency, _arrive)
+
+    # ------------------------------------------------------------------
+    # Injection with internal retry (MPI hides TX-queue-full)
+    # ------------------------------------------------------------------
+    def _inject(self, pkt: Packet, on_local_complete=None, notify_target=True):
+        yield from self._charge(self.nic.model.send_overhead)
+        while not self.nic.try_inject(
+            pkt, on_local_complete=on_local_complete, notify_target=notify_target
+        ):
+            self.stats.counter("tx_retries").add()
+            yield self.env.timeout(4 * self.nic.model.injection_gap)
+
+    # ------------------------------------------------------------------
+    # Two-sided API
+    # ------------------------------------------------------------------
+    def isend(
+        self,
+        dst: int,
+        tag: int,
+        size: int,
+        payload: Any = None,
+        thread: Optional[object] = None,
+    ):
+        """Nonblocking send; returns an :class:`MpiRequest`."""
+        if tag < 0:
+            raise MPIUsageError(f"negative user tag {tag}")
+        yield from self._enter(thread)
+        try:
+            req = MpiRequest("send", dst, tag, size)
+            self.stats.counter("isends").add()
+            if size <= self.config.eager_limit:
+                yield from self._eager_send(req, dst, tag, size, payload)
+            else:
+                yield from self._rndv_send(req, dst, tag, size, payload)
+            return req
+        finally:
+            self._exit()
+
+    def _eager_send(self, req, dst, tag, size, payload):
+        # Bounce-buffer copy so the user buffer is immediately reusable.
+        copy = self.cpu.memcpy_time(size) * self.config.eager_copy_factor
+        yield from self._charge(copy)
+        yield from self._consume_credit(dst)
+        pkt = Packet(PacketType.EGR, self.rank, dst, tag, size, payload=payload)
+        pkt.meta["mpi"] = True
+        yield from self._inject(pkt)
+        self.stats.counter("eager_sends").add()
+        req._complete()
+
+    def _rndv_send(self, req, dst, tag, size, payload):
+        pkt = Packet(PacketType.RTS, self.rank, dst, tag, size)
+        pkt.meta["mpi"] = True
+        pkt.meta["send_req"] = req
+        pkt.meta["data"] = payload
+        yield from self._inject(pkt)
+        self.stats.counter("rndv_sends").add()
+
+    def irecv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        thread: Optional[object] = None,
+    ):
+        """Nonblocking receive (wildcards allowed); returns a request."""
+        yield from self._enter(thread)
+        try:
+            req = MpiRequest("recv", source, tag, 0)
+            self.stats.counter("irecvs").add()
+            msg, inspected = self.unexpected.match_receive(source, tag)
+            yield from self._charge(
+                inspected * self.config.unexpected_cost_per_element
+            )
+            if msg is None:
+                self.posted.post(PostedReceive(req, source, tag))
+                return req
+            if msg.protocol == "eager":
+                # Copy out of the MPI-internal buffer; credit goes home.
+                yield from self._charge(self.cpu.memcpy_time(msg.size))
+                req._complete(
+                    msg.payload, MpiStatus(msg.source, msg.tag, msg.size)
+                )
+                self._peer_credit_home(msg.source)
+            else:  # rendezvous RTS parked unexpected
+                yield from self._answer_rts(msg.token, req)
+            return req
+        finally:
+            self._exit()
+
+    def _answer_rts(self, rts_pkt: Packet, req: MpiRequest):
+        """Post the RTR reply that lets the sender RDMA the payload."""
+        yield from self._charge(self.cpu.alloc_cost)  # allocate recv buffer
+        rtr = Packet(
+            PacketType.RTR, self.rank, rts_pkt.src, rts_pkt.tag,
+            rts_pkt.size,
+        )
+        rtr.meta["mpi"] = True
+        rtr.meta["send_req"] = rts_pkt.meta["send_req"]
+        rtr.meta["data"] = rts_pkt.meta["data"]
+        rtr.meta["recv_req"] = req
+        yield from self._inject(rtr)
+
+    def _peer_credit_home(self, src: int) -> None:
+        """We consumed an eager message from ``src``; return their credit."""
+        peer = self._world_lookup(src)
+        if peer is not None:
+            peer._credit_home(self.rank)
+
+    # World back-reference, set by MpiWorld so credits can flow home.
+    _world = None
+
+    def _world_lookup(self, rank: int) -> Optional["MpiEndpoint"]:
+        if self._world is None:
+            return None
+        return self._world.endpoint(rank)
+
+    def iprobe(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        thread: Optional[object] = None,
+    ):
+        """Nonblocking probe; returns an :class:`MpiStatus` or ``None``.
+
+        Per MPI semantics a probe must advance the progress engine (else a
+        loop of probes would never observe arrivals), which is exactly the
+        overhead the paper's "probe" curve in Fig. 1 pays.
+        """
+        yield from self._enter(thread)
+        try:
+            self.stats.counter("iprobes").add()
+            yield from self._charge(self.config.probe_overhead)
+            yield from self._progress_locked()
+            msg, inspected = self.unexpected.match_receive(
+                source, tag, remove=False
+            )
+            yield from self._charge(
+                inspected * self.config.unexpected_cost_per_element
+            )
+            if msg is None:
+                return None
+            return MpiStatus(msg.source, msg.tag, msg.size)
+        finally:
+            self._exit()
+
+    def test(self, req: MpiRequest, thread: Optional[object] = None):
+        """Nonblocking completion check; returns bool.
+
+        Costs a library call plus a progress pass — the paper contrasts
+        this with LCI's free status-flag read.
+        """
+        yield from self._enter(thread)
+        try:
+            self.stats.counter("tests").add()
+            yield from self._charge(self.config.test_overhead)
+            if not req.done:
+                yield from self._progress_locked()
+            return req.done
+        finally:
+            self._exit()
+
+    def wait(self, req: MpiRequest, thread: Optional[object] = None):
+        """Block (the simulated thread) until ``req`` completes."""
+        while True:
+            done = yield from self.test(req, thread=thread)
+            if done:
+                return req
+            # Sleep until either the request completes (e.g. via another
+            # thread's progress) or a packet arrives to be progressed.
+            done_ev = Event(self.env)
+            req.on_complete(
+                lambda _r: None if done_ev.triggered else done_ev.succeed(None)
+            )
+            yield self.env.any_of([done_ev, self.nic.wait_arrival()])
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        thread: Optional[object] = None,
+    ):
+        """Blocking receive; returns (payload, status)."""
+        req = yield from self.irecv(source, tag, thread=thread)
+        yield from self.wait(req, thread=thread)
+        return req.payload, req.status
+
+    def send(self, dst: int, tag: int, size: int, payload: Any = None,
+             thread: Optional[object] = None):
+        """Blocking send."""
+        req = yield from self.isend(dst, tag, size, payload, thread=thread)
+        yield from self.wait(req, thread=thread)
+        return req
+
+    # ------------------------------------------------------------------
+    # Progress engine
+    # ------------------------------------------------------------------
+    def progress(self, thread: Optional[object] = None):
+        """One externally-invoked progress pass (drains the NIC)."""
+        yield from self._enter(thread)
+        try:
+            yield from self._progress_locked()
+        finally:
+            self._exit()
+
+    def _progress_locked(self):
+        yield from self._charge(self.config.progress_overhead)
+        while True:
+            pkt = self.nic.poll()
+            if pkt is None:
+                return
+            yield from self._charge(self.nic.model.recv_overhead)
+            yield from self._handle_packet(pkt)
+
+    def _handle_packet(self, pkt: Packet):
+        meta = pkt.meta
+        if meta.get("rma_win") is not None:
+            handler = self._rma_handlers.get(meta["rma_win"])
+            if handler is None:
+                raise MPIUsageError(
+                    f"rank {self.rank}: RMA control for unknown window "
+                    f"{meta['rma_win']}"
+                )
+            handler(pkt)
+            return
+        if pkt.tag == _BARRIER_TAG:
+            self._barrier_msgs.append((pkt.src, pkt.payload))
+            waiters, self._barrier_waiters = self._barrier_waiters, []
+            for ev in waiters:
+                ev.succeed(None)
+            return
+        if pkt.ptype is PacketType.EGR:
+            yield from self._arrival_eager(pkt)
+        elif pkt.ptype is PacketType.RTS:
+            yield from self._arrival_rts(pkt)
+        elif pkt.ptype is PacketType.RTR:
+            yield from self._arrival_rtr(pkt)
+        elif pkt.ptype is PacketType.RDMA:
+            yield from self._arrival_rdma(pkt)
+        else:  # pragma: no cover - exhaustive
+            raise MPIUsageError(f"unhandled packet {pkt!r}")
+
+    def _arrival_eager(self, pkt: Packet):
+        entry, inspected = self.posted.match_arrival(pkt.src, pkt.tag)
+        yield from self._charge(inspected * self.config.match_cost_per_element)
+        if entry is not None:
+            yield from self._charge(self.cpu.memcpy_time(pkt.size))
+            entry.req._complete(
+                pkt.payload, MpiStatus(pkt.src, pkt.tag, pkt.size)
+            )
+            self._peer_credit_home(pkt.src)
+        else:
+            self.stats.counter("unexpected_msgs").add()
+            self.unexpected.add(
+                UnexpectedMessage(
+                    pkt.src, pkt.tag, pkt.size, pkt.payload, "eager"
+                )
+            )
+
+    def _arrival_rts(self, pkt: Packet):
+        entry, inspected = self.posted.match_arrival(pkt.src, pkt.tag)
+        yield from self._charge(inspected * self.config.match_cost_per_element)
+        if entry is not None:
+            yield from self._answer_rts(pkt, entry.req)
+        else:
+            self.stats.counter("unexpected_msgs").add()
+            self.unexpected.add(
+                UnexpectedMessage(
+                    pkt.src, pkt.tag, pkt.size, None, "rndv", token=pkt
+                )
+            )
+
+    def _arrival_rtr(self, pkt: Packet):
+        """We are the rendezvous sender; RTR authorizes the RDMA put."""
+        send_req: MpiRequest = pkt.meta["send_req"]
+        data_pkt = Packet(
+            PacketType.RDMA, self.rank, pkt.src, pkt.tag, pkt.size,
+            payload=pkt.meta["data"],
+        )
+        data_pkt.meta["mpi"] = True
+        data_pkt.meta["recv_req"] = pkt.meta["recv_req"]
+        data_pkt.meta["rkey"] = self._rndv_sink_rkey(pkt.src)
+        # Account for imperfect pipelining of the large transfer.
+        eff = self.config.bandwidth_efficiency
+        if eff < 1.0:
+            penalty = self.nic.model.serialization_time(pkt.size) * (1 / eff - 1)
+            yield from self._charge(penalty)
+        yield from self._inject(
+            data_pkt,
+            on_local_complete=lambda: send_req._complete(),
+        )
+
+    def _rndv_sink_rkey(self, dst: int) -> int:
+        """rkey of the peer's sink region for our rendezvous payloads."""
+        peer = self._world_lookup(dst)
+        rkey = peer._rndv_sinks.get(self.rank)
+        if rkey is None:
+            buf = peer.nic.register(1 << 40, label=f"rndv-sink-from-{self.rank}")
+            rkey = buf.rkey
+            peer._rndv_sinks[self.rank] = rkey
+        return rkey
+
+    def _arrival_rdma(self, pkt: Packet):
+        recv_req: MpiRequest = pkt.meta["recv_req"]
+        yield from self._charge(0)  # data landed by RDMA; no copy here
+        recv_req._complete(
+            pkt.payload, MpiStatus(pkt.src, pkt.tag, pkt.size)
+        )
+
+    # ------------------------------------------------------------------
+    # Barrier support (used by MpiWorld)
+    # ------------------------------------------------------------------
+    def _barrier_wait_msg(self, src: int, round_no: int):
+        """Wait for the dissemination-barrier message of ``round_no``."""
+        while True:
+            for i, (s, r) in enumerate(self._barrier_msgs):
+                if s == src and r == round_no:
+                    del self._barrier_msgs[i]
+                    return
+            ev = Event(self.env)
+            self._barrier_waiters.append(ev)
+            arrival = self.nic.wait_arrival()
+            yield self.env.any_of([ev, arrival])
+            yield from self._progress_locked()

@@ -1,0 +1,29 @@
+"""MPI error hierarchy.
+
+The MPI standard does not require implementations to survive resource
+exhaustion; the paper observed MVAPICH2 and IntelMPI seg-faulting or
+hanging under Abelian's all-to-all pattern (Section III-B).  We model
+that as :class:`MPIResourceExhausted`, raised when a preset is configured
+with ``crash_on_exhaustion=True`` and the eager-buffer pool runs dry.
+"""
+
+from __future__ import annotations
+
+__all__ = ["MPIError", "MPIResourceExhausted", "MPIUsageError"]
+
+
+class MPIError(RuntimeError):
+    """Base class for simulated MPI failures."""
+
+
+class MPIResourceExhausted(MPIError):
+    """Eager buffers / network resources exhausted; the library aborts.
+
+    Real-world analogue: the unrecoverable errors from network devices or
+    the MPI software stack that the paper's buffered layer was built to
+    avoid.
+    """
+
+
+class MPIUsageError(MPIError):
+    """Caller violated MPI semantics (wrong thread mode, bad rank, ...)."""

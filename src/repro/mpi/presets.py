@@ -1,0 +1,110 @@
+"""Parameter presets approximating the MPI implementations of Table IV.
+
+The paper ran Abelian with IntelMPI (the cluster default), MVAPICH2 2.3b,
+and OpenMPI (commit f9b157), all over psm2 on Stampede2, and found "no
+clear winner between different MPI implementations, though IntelMPI-RMA
+performs best in the majority of cases", with LCI ahead of all of them.
+
+We cannot run those binaries; instead each preset sets the cost knobs of
+:class:`~repro.mpi.config.MpiConfig` to values whose *relative ordering*
+reflects published microbenchmark differences between the three stacks on
+KNL-class hardware: IntelMPI has the leanest psm2 path and the best RMA;
+MVAPICH2 has cheap matching but a heavier progress engine; OpenMPI has the
+largest per-call overhead on this fabric but a mid-pack RMA.  The absolute
+values are of the same order as the machine-model costs so none of them
+dominates artificially.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.mpi.config import MpiConfig
+
+__all__ = ["intel_mpi", "mvapich2", "openmpi", "MPI_PRESETS", "default_mpi"]
+
+US = 1e-6
+NS = 1e-9
+
+
+def intel_mpi() -> MpiConfig:
+    """IntelMPI: the Stampede2 default; leanest call path, best RMA.
+
+    Costs are calibrated for KNL's 1.4 GHz in-order cores, where MPI
+    software paths run several times slower than on a server-class Xeon:
+    a library call costs hundreds of ns, a probe with its progress pass
+    lands around a microsecond, and match-queue traversal is
+    pointer-chasing at ~70 ns/element.
+    """
+    return MpiConfig(
+        name="intelmpi",
+        eager_limit=16 * 1024,
+        match_cost_per_element=70 * NS,
+        unexpected_cost_per_element=80 * NS,
+        call_overhead=350 * NS,
+        probe_overhead=420 * NS,
+        test_overhead=300 * NS,
+        progress_overhead=500 * NS,
+        thread_multiple_lock_cost=300 * NS,
+        eager_credits_per_peer=64,
+        crash_on_exhaustion=True,
+        eager_copy_factor=1.0,
+        rma_put_overhead=280 * NS,
+        rma_sync_overhead=0.9 * US,
+        win_create_cost_per_rank=2.2 * US,
+        bandwidth_efficiency=0.92,
+    )
+
+
+def mvapich2() -> MpiConfig:
+    """MVAPICH2 2.3b: cheap matching, heavier progress engine."""
+    return MpiConfig(
+        name="mvapich2",
+        eager_limit=17 * 1024,
+        match_cost_per_element=58 * NS,
+        unexpected_cost_per_element=66 * NS,
+        call_overhead=400 * NS,
+        probe_overhead=470 * NS,
+        test_overhead=330 * NS,
+        progress_overhead=650 * NS,
+        thread_multiple_lock_cost=360 * NS,
+        eager_credits_per_peer=48,
+        crash_on_exhaustion=True,
+        eager_copy_factor=1.0,
+        rma_put_overhead=360 * NS,
+        rma_sync_overhead=1.1 * US,
+        win_create_cost_per_rank=2.6 * US,
+        bandwidth_efficiency=0.90,
+    )
+
+
+def openmpi() -> MpiConfig:
+    """OpenMPI (f9b157): largest per-call overhead on psm2, mid-pack RMA."""
+    return MpiConfig(
+        name="openmpi",
+        eager_limit=12 * 1024,
+        match_cost_per_element=85 * NS,
+        unexpected_cost_per_element=95 * NS,
+        call_overhead=500 * NS,
+        probe_overhead=560 * NS,
+        test_overhead=390 * NS,
+        progress_overhead=600 * NS,
+        thread_multiple_lock_cost=420 * NS,
+        eager_credits_per_peer=64,
+        crash_on_exhaustion=False,  # stalls rather than aborts
+        eager_copy_factor=1.0,
+        rma_put_overhead=330 * NS,
+        rma_sync_overhead=1.05 * US,
+        win_create_cost_per_rank=2.4 * US,
+        bandwidth_efficiency=0.88,
+    )
+
+
+MPI_PRESETS: Dict[str, MpiConfig] = {
+    c.name: c for c in (intel_mpi(), mvapich2(), openmpi())
+}
+
+
+def default_mpi() -> MpiConfig:
+    """The cluster-default implementation the main experiments use."""
+    return intel_mpi()

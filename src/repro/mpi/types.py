@@ -1,0 +1,90 @@
+"""MPI request and status objects, and the wildcard constants."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Optional
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "MpiStatus", "MpiRequest"]
+
+#: Wildcard source for receives/probes (MPI_ANY_SOURCE).
+ANY_SOURCE = -1
+#: Wildcard tag for receives/probes (MPI_ANY_TAG).
+ANY_TAG = -1
+
+_req_ids = itertools.count()
+
+
+@dataclass
+class MpiStatus:
+    """What a probe or completed receive reports about a message."""
+
+    source: int
+    tag: int
+    count: int  # payload bytes
+
+    def __repr__(self) -> str:
+        return f"MpiStatus(src={self.source}, tag={self.tag}, count={self.count})"
+
+
+class MpiRequest:
+    """Handle for a pending nonblocking operation.
+
+    ``done`` flips when the operation completes; ``payload`` carries the
+    received object for receive requests.  Unlike LCI requests, observing
+    completion requires calling :meth:`MpiEndpoint.test` (which enters the
+    library and pays for a progress pass) — this asymmetry is one of the
+    paper's core points.
+    """
+
+    __slots__ = (
+        "uid",
+        "kind",
+        "peer",
+        "tag",
+        "size",
+        "done",
+        "cancelled",
+        "payload",
+        "status",
+        "_completion_cbs",
+    )
+
+    def __init__(self, kind: str, peer: int, tag: int, size: int):
+        self.uid = next(_req_ids)
+        self.kind = kind  # "send" | "recv"
+        self.peer = peer
+        self.tag = tag
+        self.size = size
+        self.done = False
+        self.cancelled = False
+        self.payload: Any = None
+        self.status: Optional[MpiStatus] = None
+        self._completion_cbs = []
+
+    def on_complete(self, cb) -> None:
+        """Internal: register a callback to run at completion."""
+        if self.done:
+            cb(self)
+        else:
+            self._completion_cbs.append(cb)
+
+    def _complete(
+        self, payload: Any = None, status: Optional[MpiStatus] = None
+    ) -> None:
+        if self.done:
+            raise RuntimeError(f"request {self.uid} completed twice")
+        self.done = True
+        self.payload = payload
+        self.status = status
+        cbs, self._completion_cbs = self._completion_cbs, []
+        for cb in cbs:
+            cb(self)
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "pending"
+        return (
+            f"MpiRequest(#{self.uid} {self.kind} peer={self.peer} "
+            f"tag={self.tag} size={self.size} {state})"
+        )

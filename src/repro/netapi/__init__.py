@@ -1,0 +1,15 @@
+"""Low-level network API shared by every communication layer.
+
+This is the simulated analogue of the thin layer the paper builds LCI on
+(psm2 on Omni-Path, ibverbs RC on Infiniband): packets
+(:mod:`repro.netapi.packet`) and per-host NIC endpoints exposing the
+``lc_send`` / ``lc_put`` / ``lc_progress`` primitives of Section III-D
+(:mod:`repro.netapi.nic`).  The simulated MPI implementation in
+:mod:`repro.mpi` is deliberately built on this *same* API so that the MPI
+vs. LCI comparison isolates software semantics, exactly as on real NICs.
+"""
+
+from repro.netapi.packet import Packet, PacketType
+from repro.netapi.nic import Nic, Fabric, RegisteredBuffer
+
+__all__ = ["Packet", "PacketType", "Nic", "Fabric", "RegisteredBuffer"]

@@ -1,0 +1,247 @@
+"""Simulated NIC endpoints and the fabric connecting them.
+
+Timing follows the LogGP family: a packet injected at time ``t`` waits for
+the NIC's transmit pipeline (serialization at link bandwidth, with a
+minimum inter-message gap enforcing the NIC's message-rate cap), crosses
+the wire after latency ``L``, and appears in the destination NIC's receive
+queue.  CPU-side overheads (``o_s``/``o_r``) are charged by the *callers*
+(the communication layers), because where those cycles are spent — and by
+which thread — is precisely what differs between MPI and LCI.
+
+Injection can fail when the transmit queue is full (``try_inject`` returns
+``False``).  This is the hardware behaviour that MPI hides (and sometimes
+crashes on — Section III-B) and that LCI surfaces to the caller as a
+retryable condition.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.sim.engine import Environment, Event, SimulationError
+from repro.sim.machine import MachineModel, NicModel
+from repro.sim.monitor import StatRegistry
+from repro.netapi.packet import Packet, PacketType
+
+__all__ = ["RegisteredBuffer", "Nic", "Fabric"]
+
+
+_rkey_counter = itertools.count(1)
+
+
+class RegisteredBuffer:
+    """A memory region registered for RDMA access.
+
+    ``lc_put`` targets one of these via its ``rkey``.  The simulated
+    contents are whatever payload objects remote peers deposit; ``nbytes``
+    is the simulated capacity used for accounting and bounds checks.
+    """
+
+    def __init__(self, host: int, nbytes: int, label: str = ""):
+        self.host = host
+        self.nbytes = int(nbytes)
+        self.label = label
+        self.rkey = next(_rkey_counter)
+        #: offset -> payload object, as deposited by remote puts.
+        self.contents: Dict[int, object] = {}
+        self.bytes_written = 0
+        self.revoked = False
+
+    def write(self, offset: int, payload: object, nbytes: int) -> None:
+        if self.revoked:
+            raise SimulationError(f"RDMA write to revoked buffer {self.label!r}")
+        if offset < 0 or offset + nbytes > self.nbytes:
+            raise SimulationError(
+                f"RDMA write out of bounds: [{offset}, {offset + nbytes}) "
+                f"into {self.nbytes}-byte buffer {self.label!r}"
+            )
+        self.contents[offset] = payload
+        self.bytes_written += nbytes
+
+    def clear(self) -> None:
+        self.contents.clear()
+        self.bytes_written = 0
+
+    def revoke(self) -> None:
+        self.revoked = True
+
+
+class Nic:
+    """One host's network interface."""
+
+    def __init__(
+        self,
+        env: Environment,
+        fabric: "Fabric",
+        host: int,
+        model: NicModel,
+        stats: StatRegistry,
+    ):
+        self.env = env
+        self.fabric = fabric
+        self.host = host
+        self.model = model
+        self.stats = stats
+        self.rx_queue: Deque[Packet] = deque()
+        self._arrival_waiters: List[Event] = []
+        self._tx_free_at = 0.0
+        self._tx_outstanding = 0
+        self._registered: Dict[int, RegisteredBuffer] = {}
+
+    # ------------------------------------------------------------------
+    # Transmit path
+    # ------------------------------------------------------------------
+    def try_inject(
+        self,
+        pkt: Packet,
+        on_local_complete: Optional[Callable[[], None]] = None,
+        notify_target: bool = True,
+    ) -> bool:
+        """Hand ``pkt`` to the NIC; returns False if the TX queue is full.
+
+        ``on_local_complete`` fires when the send buffer may be reused:
+        at wire departure for plain sends, and after the remote ACK for
+        RDMA puts.  ``notify_target`` controls whether the destination CPU
+        sees the packet in its receive queue (False models a pure RDMA
+        write with no completion at the target, as used by MPI-RMA).
+        """
+        if pkt.src != self.host:
+            raise SimulationError(
+                f"packet src {pkt.src} injected from host {self.host}"
+            )
+        if self._tx_outstanding >= self.model.tx_queue_depth:
+            self.stats.counter("tx_queue_full").add()
+            return False
+
+        env = self.env
+        wire_bytes = pkt.wire_bytes
+        ser = self.model.serialization_time(wire_bytes)
+        gap = self.model.injection_gap
+        start = max(env.now, self._tx_free_at)
+        self._tx_free_at = start + max(ser, gap)
+        departure = start + ser
+        latency = self.model.latency
+        if pkt.ptype is PacketType.RDMA:
+            latency += self.model.rdma_extra_latency
+        arrival = departure + latency
+
+        self._tx_outstanding += 1
+        self.stats.counter("pkts_sent").add()
+        self.stats.counter("bytes_sent").add(wire_bytes)
+
+        def _departed() -> None:
+            self._tx_outstanding -= 1
+            if pkt.ptype is not PacketType.RDMA and on_local_complete:
+                on_local_complete()
+
+        env.schedule_callback(departure - env.now, _departed)
+
+        dst_nic = self.fabric.nic(pkt.dst)
+
+        def _arrived() -> None:
+            if pkt.ptype is PacketType.RDMA:
+                self._complete_rdma(pkt, dst_nic)
+                if on_local_complete:
+                    # Hardware completion after the ACK returns.
+                    env.schedule_callback(self.model.latency, on_local_complete)
+            if notify_target:
+                dst_nic.deliver(pkt)
+
+        env.schedule_callback(arrival - env.now, _arrived)
+        return True
+
+    def _complete_rdma(self, pkt: Packet, dst_nic: "Nic") -> None:
+        rkey = pkt.meta.get("rkey")
+        if rkey is None:
+            raise SimulationError(f"RDMA packet without rkey: {pkt!r}")
+        buf = dst_nic._registered.get(rkey)
+        if buf is None:
+            raise SimulationError(
+                f"RDMA write to unknown rkey {rkey} on host {pkt.dst}"
+            )
+        buf.write(pkt.meta.get("offset", 0), pkt.payload, pkt.size)
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def deliver(self, pkt: Packet) -> None:
+        """Called by the fabric when a packet reaches this host."""
+        if pkt.dst != self.host:
+            raise SimulationError(
+                f"packet for host {pkt.dst} delivered to host {self.host}"
+            )
+        self.rx_queue.append(pkt)
+        self.stats.counter("pkts_received").add()
+        self.stats.counter("bytes_received").add(pkt.wire_bytes)
+        if self._arrival_waiters:
+            waiters, self._arrival_waiters = self._arrival_waiters, []
+            for ev in waiters:
+                ev.succeed(None)
+
+    def poll(self) -> Optional[Packet]:
+        """Harvest one received packet, if any (no cost charged here)."""
+        if self.rx_queue:
+            return self.rx_queue.popleft()
+        return None
+
+    def wait_arrival(self) -> Event:
+        """Event that fires when the receive queue becomes non-empty.
+
+        If packets are already pending the event fires immediately, so a
+        progress loop built on this never sleeps through work.
+        """
+        ev = Event(self.env)
+        if self.rx_queue:
+            ev.succeed(None)
+        else:
+            self._arrival_waiters.append(ev)
+        return ev
+
+    # ------------------------------------------------------------------
+    # RDMA registration
+    # ------------------------------------------------------------------
+    def register(self, nbytes: int, label: str = "") -> RegisteredBuffer:
+        buf = RegisteredBuffer(self.host, nbytes, label=label)
+        self._registered[buf.rkey] = buf
+        return buf
+
+    def deregister(self, buf: RegisteredBuffer) -> None:
+        buf.revoke()
+        self._registered.pop(buf.rkey, None)
+
+    @property
+    def tx_outstanding(self) -> int:
+        return self._tx_outstanding
+
+
+class Fabric:
+    """The interconnect: one NIC per host, a shared cost model."""
+
+    def __init__(
+        self,
+        env: Environment,
+        num_hosts: int,
+        machine: MachineModel,
+        stats_prefix: str = "fabric",
+    ):
+        if num_hosts < 1:
+            raise SimulationError("fabric needs at least one host")
+        self.env = env
+        self.num_hosts = num_hosts
+        self.machine = machine
+        self.stats = StatRegistry(stats_prefix)
+        self._nics = [
+            Nic(env, self, h, machine.nic, StatRegistry(f"{stats_prefix}.nic{h}"))
+            for h in range(num_hosts)
+        ]
+
+    def nic(self, host: int) -> Nic:
+        if not 0 <= host < self.num_hosts:
+            raise SimulationError(f"no such host: {host}")
+        return self._nics[host]
+
+    def total(self, counter: str) -> int:
+        """Sum a per-NIC counter across all hosts."""
+        return sum(n.stats.counter_value(counter) for n in self._nics)

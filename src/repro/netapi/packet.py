@@ -1,0 +1,86 @@
+"""Wire packets.
+
+A :class:`Packet` is the unit the simulated fabric moves between hosts.
+Payloads are carried as opaque Python objects (the graph runtimes put real
+serialized update blobs in them, so algorithm correctness is end-to-end),
+while ``size`` carries the number of *simulated* bytes used for all timing.
+
+Packet types follow Section III-D of the paper:
+
+* ``EGR``  — eager packet carrying the data inline (short protocol).
+* ``RTS``  — ready-to-send: rendezvous control packet from the sender,
+  advertising the source buffer.
+* ``RTR``  — ready-to-receive: rendezvous control packet from the receiver,
+  advertising the destination buffer.
+* ``RDMA`` — the bulk transfer performed by ``lc_put`` (RDMA write with
+  completion notification at the target).
+
+The MPI layers reuse the same wire packets with their own headers stored in
+``meta`` (tags, communicator context, window/offset for RMA), which mirrors
+how real MPIs layer matching information over the raw transport.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = ["PacketType", "Packet", "CONTROL_PACKET_BYTES", "PACKET_HEADER_BYTES"]
+
+#: Simulated size of a control-only packet (RTS/RTR): one cache line of
+#: header plus addressing information.
+CONTROL_PACKET_BYTES = 64
+
+#: Header bytes prepended to every data packet on the wire.
+PACKET_HEADER_BYTES = 32
+
+
+class PacketType(enum.Enum):
+    EGR = "EGR"
+    RTS = "RTS"
+    RTR = "RTR"
+    RDMA = "RDMA"
+
+    def __repr__(self) -> str:
+        return f"PacketType.{self.name}"
+
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """A message descriptor moving through the simulated fabric."""
+
+    ptype: PacketType
+    src: int
+    dst: int
+    tag: int
+    #: Simulated payload bytes (excluding header overhead).
+    size: int
+    #: The actual data object (ignored by the fabric, used by receivers).
+    payload: Any = None
+    #: Layer-specific header fields (MPI context id, RMA window/offset,
+    #: rendezvous buffer handles, ...).
+    meta: Dict[str, Any] = field(default_factory=dict)
+    #: Unique id, for tracing and deterministic tie-breaking in tests.
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+    #: Set by the LCI layer: the request this packet is tied to.
+    request: Optional[Any] = None
+    #: For pool-managed packets: the owning pool, so frees return home.
+    pool: Optional[Any] = None
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes the fabric serializes for this packet."""
+        if self.ptype in (PacketType.RTS, PacketType.RTR):
+            return CONTROL_PACKET_BYTES
+        return self.size + PACKET_HEADER_BYTES
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet(#{self.uid} {self.ptype.name} {self.src}->{self.dst} "
+            f"tag={self.tag} size={self.size})"
+        )

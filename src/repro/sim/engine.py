@@ -1,0 +1,396 @@
+"""Deterministic discrete-event simulation kernel.
+
+A minimal, fast coroutine scheduler in the style of SimPy.  The design goals
+are:
+
+* **Determinism** — events scheduled for the same timestamp fire in
+  scheduling order (a monotonically increasing sequence number breaks ties),
+  so a run is a pure function of its inputs and seeds.
+* **Low overhead** — the event heap stores plain tuples and callbacks; the
+  hot path (``step``) does no allocation beyond the generator resume.
+* **Small surface** — only the primitives the communication runtimes need:
+  one-shot events, timeouts, processes, and all-of/any-of conditions.
+
+Typical usage::
+
+    env = Environment()
+
+    def pinger(env, out):
+        yield env.timeout(1.5)
+        out.append(env.now)
+
+    acc = []
+    env.process(pinger(env, acc))
+    env.run()
+    assert acc == [1.5]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "SimulationError",
+    "Interrupt",
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+]
+
+_PENDING = object()
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (e.g. double-triggering)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value supplied by the interrupter.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*; it becomes *triggered* when :meth:`succeed`
+    or :meth:`fail` is called, at which point it is placed on the event
+    queue and its callbacks run when the simulation reaches it.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled", "_defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok = True
+        self._scheduled = False
+        self._defused = False
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (success or failure)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (the event is in the past)."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded. Only meaningful when triggered."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event value accessed before trigger")
+        return self._value
+
+    # -- triggering -----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._value = value
+        self._ok = True
+        self.env._schedule_event(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Waiting processes will have ``exc`` thrown into them unless they
+        defuse the event first.
+        """
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._value = exc
+        self._ok = False
+        self.env._schedule_event(self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it does not crash the run."""
+        self._defused = True
+
+    # -- internals ------------------------------------------------------
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks:
+            for cb in callbacks:
+                cb(self)
+        if not self._ok and not self._defused:
+            raise self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self.triggered else "pending"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` simulated seconds in the future."""
+
+    __slots__ = ("delay", "_timeout_value")
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._timeout_value = value
+        env._schedule_event(self, delay)
+
+    def _run_callbacks(self) -> None:
+        # The value materializes only when the timer fires, so a pending
+        # timeout is not "triggered" (matters for AnyOf/AllOf collection).
+        self._value = self._timeout_value
+        self._ok = True
+        super()._run_callbacks()
+
+
+class Process(Event):
+    """Drives a generator; the process *is* an event that fires on return.
+
+    The generator may ``yield`` any :class:`Event` (including other
+    processes).  When the yielded event triggers, the process resumes with
+    the event's value (or has the failure exception thrown into it).  When
+    the generator returns, the process event succeeds with the return value.
+    """
+
+    __slots__ = ("_gen", "_target", "name")
+
+    def __init__(self, env: "Environment", gen: Generator, name: str = ""):
+        super().__init__(env)
+        if not hasattr(gen, "send"):
+            raise TypeError(f"process requires a generator, got {type(gen).__name__}")
+        self._gen = gen
+        self._target: Optional[Event] = None
+        self.name = name or getattr(gen, "__name__", "process")
+        # Bootstrap: resume the generator at the current time.
+        init = Event(env)
+        init.callbacks.append(self._resume)
+        init.succeed(None)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            return
+        if self._gen is self.env._active_gen:
+            raise SimulationError("a process cannot interrupt itself")
+        # Detach from whatever it is waiting on, then resume with the error.
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        kick = Event(self.env)
+        kick.callbacks.append(self._resume)
+        kick.fail(Interrupt(cause))
+        kick.defuse()
+
+    # -- internals ------------------------------------------------------
+    def _resume(self, trigger: Event) -> None:
+        env = self.env
+        env._active_gen = self._gen
+        self._target = None
+        event: Optional[Event] = trigger
+        while event is not None:
+            try:
+                if event._ok:
+                    nxt = self._gen.send(event._value)
+                else:
+                    event._defused = True
+                    nxt = self._gen.throw(event._value)
+            except StopIteration as stop:
+                env._active_gen = None
+                super().succeed(stop.value)
+                return
+            except BaseException as exc:
+                env._active_gen = None
+                super().fail(exc)
+                return
+            if not isinstance(nxt, Event):
+                env._active_gen = None
+                msg = f"process {self.name!r} yielded non-event {nxt!r}"
+                super().fail(SimulationError(msg))
+                return
+            if nxt.callbacks is None:
+                # Already processed: resume immediately with its value.
+                event = nxt
+                continue
+            nxt.callbacks.append(self._resume)
+            self._target = nxt
+            event = None
+        env._active_gen = None
+
+
+class _Condition(Event):
+    """Base for :class:`AnyOf` / :class:`AllOf`."""
+
+    __slots__ = ("_events", "_count")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._count = 0
+        if not self._events:
+            self.succeed({})
+            return
+        for ev in self._events:
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _collect(self) -> dict:
+        return {
+            i: ev._value
+            for i, ev in enumerate(self._events)
+            if ev.triggered and ev._ok
+        }
+
+    def _check(self, ev: Event) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Triggers when any constituent event triggers."""
+
+    __slots__ = ()
+
+    def _check(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev._ok:
+            ev._defused = True
+            self.fail(ev._value)
+            return
+        self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Triggers when every constituent event has triggered."""
+
+    __slots__ = ()
+
+    def _check(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev._ok:
+            ev._defused = True
+            self.fail(ev._value)
+            return
+        self._count += 1
+        if self._count == len(self._events):
+            self.succeed(self._collect())
+
+
+class Environment:
+    """The simulation clock and event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._heap: List[tuple] = []
+        self._seq = 0
+        self._active_gen: Optional[Generator] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- factories ------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        return Process(self, gen, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling -----------------------------------------------------
+    def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+
+    def schedule_callback(
+        self, delay: float, fn: Callable[[], None]
+    ) -> Event:
+        """Run ``fn`` after ``delay``; returns the underlying event."""
+        ev = Timeout(self, delay)
+        ev.callbacks.append(lambda _ev: fn())
+        return ev
+
+    # -- execution ------------------------------------------------------
+    def step(self) -> None:
+        """Process the next event; raises IndexError when queue is empty."""
+        when, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        event._run_callbacks()
+
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def run(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> None:
+        """Run until the queue drains, ``until`` is reached, or event cap.
+
+        ``max_events`` is a safety valve against accidental livelock in
+        polling loops; exceeding it raises :class:`SimulationError`.
+        """
+        count = 0
+        heap = self._heap
+        while heap:
+            if until is not None and heap[0][0] > until:
+                self._now = until
+                return
+            self.step()
+            count += 1
+            if max_events is not None and count > max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} at t={self._now:.9f}"
+                )
+        if until is not None:
+            self._now = until
+
+    def run_process(self, proc: Process, until: Optional[float] = None) -> Any:
+        """Run until ``proc`` completes and return its value."""
+        self.run(until=until)
+        if not proc.triggered:
+            raise SimulationError(
+                f"process {proc.name!r} did not finish by t={self._now}"
+            )
+        if not proc.ok:
+            raise proc._value
+        return proc.value

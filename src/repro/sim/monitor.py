@@ -1,0 +1,195 @@
+"""Measurement utilities: counters, peak trackers, and time series.
+
+The paper's evaluation reports execution times (Figs 3, 4, 6; Tables II,
+IV), communication-buffer memory footprints (Fig 5), and latency/rate
+microbenchmarks (Fig 1).  The classes here are the instrumentation the
+simulated runtimes write into; the benchmark harness reads them back out.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "Counter",
+    "PeakTracker",
+    "TimeSeries",
+    "StatRegistry",
+    "geometric_mean",
+]
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean; the paper's headline speedups are geomeans."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("geometric_mean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geometric_mean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+class Counter:
+    """A monotonically adjustable named count (messages, bytes, retries)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __int__(self) -> int:
+        return int(self.value)
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class PeakTracker:
+    """Tracks a level that rises and falls, remembering its maximum.
+
+    Used for the working set of communication buffers (Fig 5): allocations
+    call :meth:`add`, frees call :meth:`sub`, and ``peak`` is the footprint.
+    """
+
+    __slots__ = ("name", "current", "peak", "total_added")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.current = 0
+        self.peak = 0
+        self.total_added = 0
+
+    def add(self, amount: int) -> None:
+        if amount < 0:
+            raise ValueError("use sub() to decrease")
+        self.current += amount
+        self.total_added += amount
+        if self.current > self.peak:
+            self.peak = self.current
+
+    def sub(self, amount: int) -> None:
+        if amount < 0:
+            raise ValueError("sub() takes a non-negative amount")
+        self.current -= amount
+        if self.current < 0:
+            raise ValueError(
+                f"PeakTracker {self.name!r} went negative ({self.current})"
+            )
+
+    def reset(self) -> None:
+        self.current = 0
+        self.peak = 0
+        self.total_added = 0
+
+    def __repr__(self) -> str:
+        return f"PeakTracker({self.name!r}, cur={self.current}, peak={self.peak})"
+
+
+class TimeSeries:
+    """(time, value) samples, e.g. per-iteration compute/comm breakdowns."""
+
+    __slots__ = ("name", "times", "values")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        if not self.values:
+            raise ValueError(f"TimeSeries {self.name!r} is empty")
+        return self.total / len(self.values)
+
+    @property
+    def max(self) -> float:
+        return max(self.values)
+
+    def items(self) -> List[Tuple[float, float]]:
+        return list(zip(self.times, self.values))
+
+
+class StatRegistry:
+    """A namespaced bag of monitors owned by one simulated component.
+
+    Components create their instruments lazily by name, so tests can assert
+    on exactly the stats a code path touched::
+
+        stats = StatRegistry("host0.lci")
+        stats.counter("egr_sends").add()
+        stats.peak("pool_bytes").add(8192)
+    """
+
+    def __init__(self, prefix: str = ""):
+        self.prefix = prefix
+        self._counters: Dict[str, Counter] = {}
+        self._peaks: Dict[str, PeakTracker] = {}
+        self._series: Dict[str, TimeSeries] = {}
+
+    def _qual(self, name: str) -> str:
+        return f"{self.prefix}.{name}" if self.prefix else name
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(self._qual(name))
+        return c
+
+    def peak(self, name: str) -> PeakTracker:
+        p = self._peaks.get(name)
+        if p is None:
+            p = self._peaks[name] = PeakTracker(self._qual(name))
+        return p
+
+    def series(self, name: str) -> TimeSeries:
+        s = self._series.get(name)
+        if s is None:
+            s = self._series[name] = TimeSeries(self._qual(name))
+        return s
+
+    def counter_value(self, name: str, default: int = 0) -> int:
+        c = self._counters.get(name)
+        return c.value if c is not None else default
+
+    def peak_value(self, name: str, default: int = 0) -> int:
+        p = self._peaks.get(name)
+        return p.peak if p is not None else default
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flatten every instrument into a dict for reports."""
+        out: Dict[str, float] = {}
+        for name, c in self._counters.items():
+            out[self._qual(name)] = c.value
+        for name, p in self._peaks.items():
+            out[self._qual(name) + ".peak"] = p.peak
+            out[self._qual(name) + ".current"] = p.current
+        for name, s in self._series.items():
+            out[self._qual(name) + ".total"] = s.total
+            out[self._qual(name) + ".n"] = len(s)
+        return out
+
+    def reset(self) -> None:
+        for c in self._counters.values():
+            c.reset()
+        for p in self._peaks.values():
+            p.reset()
+        self._series.clear()

@@ -1,0 +1,177 @@
+"""Synchronization resources for simulated actors.
+
+These mirror the primitives the communication runtimes are built from:
+
+* :class:`Store` — an unbounded (or bounded) FIFO channel; the simulated
+  analogue of a producer/consumer queue whose *synchronization cost* is
+  charged separately by the caller (the data-structure itself is exact).
+* :class:`Resource` — a counting semaphore (e.g. NIC injection credits).
+* :class:`Lock` — a mutex with optional per-acquisition cost, used to model
+  the global lock of ``MPI_THREAD_MULTIPLE`` implementations.
+
+All wait queues are FIFO, which keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.sim.engine import Environment, Event, SimulationError
+
+__all__ = ["Store", "Resource", "Lock"]
+
+
+class Store:
+    """FIFO channel of Python objects with blocking ``get``/``put`` events.
+
+    ``capacity`` bounds the number of buffered items; ``put`` on a full
+    store blocks until space frees.  ``items`` exposes the current buffer
+    for inspection (tests, monitors) — do not mutate it directly.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise SimulationError("Store capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple] = deque()  # (event, item)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        """Deposit ``item``; the returned event fires once it is stored."""
+        ev = Event(self.env)
+        if self._getters:
+            # Hand off directly to the longest-waiting getter.
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            ev.succeed(None)
+        elif len(self.items) < self.capacity:
+            self.items.append(item)
+            ev.succeed(None)
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False if the store is full."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            return True
+        if len(self.items) < self.capacity:
+            self.items.append(item)
+            return True
+        return False
+
+    def get(self) -> Event:
+        """Remove and return the oldest item (event value)."""
+        ev = Event(self.env)
+        if self.items:
+            ev.succeed(self.items.popleft())
+            self._admit_putter()
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get; returns None when empty."""
+        if self.items:
+            item = self.items.popleft()
+            self._admit_putter()
+            return item
+        return None
+
+    def _admit_putter(self) -> None:
+        if self._putters and len(self.items) < self.capacity:
+            ev, item = self._putters.popleft()
+            self.items.append(item)
+            ev.succeed(None)
+
+
+class Resource:
+    """Counting semaphore with FIFO admission."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError("Resource capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    def request(self) -> Event:
+        """Acquire one unit; event fires on grant."""
+        ev = Event(self.env)
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            ev.succeed(None)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def try_request(self) -> bool:
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            return True
+        return False
+
+    def release(self) -> None:
+        if self.in_use <= 0:
+            raise SimulationError("release() without matching request()")
+        if self._waiters:
+            self._waiters.popleft().succeed(None)
+        else:
+            self.in_use -= 1
+
+
+class Lock:
+    """A mutex whose acquisition charges a modeled cost.
+
+    ``acquire_cost`` models the uncontended lock overhead (e.g. an atomic
+    CAS plus a memory fence); queueing under contention adds real simulated
+    waiting on top.  Use :meth:`held` generator form::
+
+        yield from lock.held(actor_gen())
+
+    or explicit ``yield lock.acquire()`` / ``lock.release()``.
+    """
+
+    def __init__(self, env: Environment, acquire_cost: float = 0.0):
+        self.env = env
+        self.acquire_cost = acquire_cost
+        self._sem = Resource(env, capacity=1)
+        self.acquisitions = 0
+        self.contended_acquisitions = 0
+
+    @property
+    def locked(self) -> bool:
+        return self._sem.in_use > 0
+
+    def acquire(self):
+        """Generator: wait for the lock, then charge the acquire cost."""
+        if not self._sem.try_request():
+            self.contended_acquisitions += 1
+            yield self._sem.request()
+        self.acquisitions += 1
+        if self.acquire_cost > 0:
+            yield self.env.timeout(self.acquire_cost)
+
+    def release(self) -> None:
+        self._sem.release()
+
+    def held(self, body):
+        """Run generator ``body`` while holding the lock."""
+        yield from self.acquire()
+        try:
+            result = yield from body
+        finally:
+            self.release()
+        return result

@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.sim.engine import Environment
+from repro.sim.machine import stampede2, stampede1
+from repro.netapi.nic import Fabric
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def machine():
+    return stampede2()
+
+
+def make_fabric(env, num_hosts, machine=None):
+    return Fabric(env, num_hosts, machine or stampede2())
+
+
+@pytest.fixture
+def fabric2(env, machine):
+    return Fabric(env, 2, machine)
+
+
+@pytest.fixture
+def fabric4(env, machine):
+    return Fabric(env, 4, machine)

@@ -1,0 +1,171 @@
+"""Unit tests for the vertex programs and their reference solutions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import APPS, Bfs, ConnectedComponents, PageRank, Sssp, make_app
+from repro.apps.bfs import INF
+from repro.engine.bsp import symmetrize
+from repro.graph.csr import CsrGraph
+from repro.graph.generators import rmat
+
+
+def line_graph(n=5, weights=None):
+    src = np.arange(n - 1)
+    dst = np.arange(1, n)
+    w = np.asarray(weights) if weights is not None else None
+    return CsrGraph.from_edges(src, dst, n, edge_data=w, name="line")
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+def test_registry_contents():
+    assert set(APPS) == {"bfs", "cc", "sssp", "pagerank", "kcore"}
+
+
+def test_make_app_kwargs():
+    app = make_app("bfs", source=3)
+    assert app.source == 3
+    pr = make_app("pagerank", max_rounds=7, tol=1e-3)
+    assert pr.max_rounds == 7 and pr.tol == 1e-3
+
+
+def test_make_app_unknown():
+    with pytest.raises(ValueError, match="unknown app"):
+        make_app("apsp")
+
+
+def test_app_contracts():
+    """The class-level contracts the engine relies on."""
+    assert Bfs().reduce_op == "min" and Bfs().label_is_broadcast_field
+    assert Sssp().needs_weights
+    assert ConnectedComponents().needs_symmetric
+    assert PageRank().reduce_op == "add"
+    assert not PageRank().label_is_broadcast_field
+    assert PageRank(max_rounds=42).max_rounds == 42
+
+
+# ---------------------------------------------------------------------------
+# references on known graphs
+# ---------------------------------------------------------------------------
+def test_bfs_reference_line():
+    g = line_graph(5)
+    levels = Bfs(source=0).reference(g)
+    assert list(levels) == [0, 1, 2, 3, 4]
+
+
+def test_bfs_reference_unreachable():
+    g = line_graph(5)
+    levels = Bfs(source=4).reference(g)  # no outgoing edges
+    assert levels[4] == 0
+    assert all(l == INF for l in levels[:4])
+
+
+def test_sssp_reference_picks_cheaper_path():
+    # 0->1 (10), 0->2 (1), 2->1 (2): shortest 0->1 is 3 via 2.
+    src = np.array([0, 0, 2])
+    dst = np.array([1, 2, 1])
+    w = np.array([10, 1, 2])
+    g = CsrGraph.from_edges(src, dst, 3, edge_data=w)
+    dist = Sssp(source=0).reference(g)
+    assert list(dist) == [0, 3, 1]
+
+
+def test_sssp_reference_requires_weights():
+    with pytest.raises(ValueError):
+        Sssp().reference(line_graph(3))
+
+
+def test_cc_reference_labels_are_min_ids():
+    src = np.array([1, 3])
+    dst = np.array([2, 4])
+    g = CsrGraph.from_edges(src, dst, 6)
+    comp = ConnectedComponents().reference(g)
+    assert list(comp) == [0, 1, 1, 3, 3, 5]
+
+
+def test_pagerank_reference_sums_to_at_most_one():
+    g = rmat(8, seed=1)
+    ranks = PageRank(max_rounds=50).reference(g)
+    assert 0 < ranks.sum() <= 1.0 + 1e-9
+    assert np.all(ranks > 0)
+
+
+def test_pagerank_reference_ranks_hub_higher():
+    # Everyone links to node 0.
+    n = 10
+    src = np.arange(1, n)
+    dst = np.zeros(n - 1, dtype=np.int64)
+    g = CsrGraph.from_edges(src, dst, n)
+    ranks = PageRank(max_rounds=50).reference(g)
+    assert ranks[0] == ranks.max()
+    assert ranks[0] > 5 * ranks[1]
+
+
+def test_pagerank_tol_early_stop():
+    g = rmat(7, seed=2)
+    pr = PageRank(max_rounds=1000, tol=1e-4)
+    loose = pr.reference(g)
+    tight = PageRank(max_rounds=1000, tol=1e-14).reference(g)
+    # Early stop is close to, but not exactly, the converged solution.
+    assert np.max(np.abs(loose - tight)) < 1e-2
+
+
+# ---------------------------------------------------------------------------
+# symmetrize helper
+# ---------------------------------------------------------------------------
+def test_symmetrize_adds_reverse_edges():
+    g = line_graph(4)
+    s = symmetrize(g)
+    assert s.num_edges == 2 * g.num_edges
+    fwd = set(zip(*[a.tolist() for a in s.edges()]))
+    assert all((d, x) in fwd for x, d in fwd)
+
+
+def test_symmetrize_preserves_weights():
+    g = line_graph(3, weights=[5, 7])
+    s = symmetrize(g)
+    src, dst = s.edges()
+    wmap = {(int(a), int(b)): int(w) for a, b, w in zip(src, dst, s.edge_data)}
+    assert wmap[(0, 1)] == wmap[(1, 0)] == 5
+    assert wmap[(1, 2)] == wmap[(2, 1)] == 7
+
+
+# ---------------------------------------------------------------------------
+# property-based: full distributed stack equals the references
+# ---------------------------------------------------------------------------
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    hosts=st.sampled_from([2, 3, 4]),
+    layer=st.sampled_from(["lci", "mpi-probe", "mpi-rma"]),
+)
+def test_property_bfs_distributed_equals_reference(seed, hosts, layer):
+    from repro.engine import BspEngine, EngineConfig
+
+    g = rmat(6, edge_factor=6, seed=seed)
+    app = Bfs(source=int(seed) % g.num_nodes)
+    eng = BspEngine(g, app, EngineConfig(num_hosts=hosts, layer=layer))
+    eng.run()
+    assert np.array_equal(eng.assemble_global(), app.reference(g))
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    policy=st.sampled_from(["cvc", "edge-cut"]),
+)
+def test_property_cc_distributed_equals_reference(seed, policy):
+    from repro.engine import BspEngine, EngineConfig
+
+    g = rmat(6, edge_factor=4, seed=seed)
+    app = ConnectedComponents()
+    eng = BspEngine(
+        g, app, EngineConfig(num_hosts=3, layer="lci", policy=policy)
+    )
+    eng.run()
+    assert np.array_equal(
+        eng.assemble_global(), app.reference(symmetrize(g))
+    )

@@ -1,0 +1,23 @@
+"""Every calibration observable must land in its published-magnitude range."""
+
+import pytest
+
+from repro.bench.calibration import CHECKS, calibration_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    return calibration_report()
+
+
+def test_all_checks_covered(report):
+    assert set(report) == set(CHECKS)
+
+
+@pytest.mark.parametrize("name", sorted(CHECKS))
+def test_observable_in_range(report, name):
+    value, low, high = report[name]
+    assert low <= value <= high, (
+        f"{name} = {value:.3e} outside calibration range "
+        f"[{low:.3e}, {high:.3e}]"
+    )

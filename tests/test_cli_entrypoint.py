@@ -1,0 +1,34 @@
+"""The ``python -m repro`` entry point works as a subprocess."""
+
+import subprocess
+import sys
+
+import pytest
+
+
+def run_cli(*args, timeout=300):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+
+
+def test_module_entrypoint_inputs():
+    proc = run_cli("inputs", "--scale", "7")
+    assert proc.returncode == 0
+    assert "max D_out" in proc.stdout
+
+
+def test_module_entrypoint_run_kcore():
+    proc = run_cli(
+        "run", "--app", "kcore", "--graph", "kron", "--scale", "8",
+        "--hosts", "4",
+    )
+    assert proc.returncode == 0
+    assert "kcore" in proc.stdout
+
+
+def test_module_entrypoint_bad_args():
+    proc = run_cli("run", "--layer", "carrier-pigeon")
+    assert proc.returncode != 0
+    assert "invalid choice" in proc.stderr

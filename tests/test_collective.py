@@ -1,0 +1,107 @@
+"""Tests for the BSP barrier/allreduce primitives."""
+
+import pytest
+
+from repro.comm.collective import AllReducer, SimBarrier, barrier_cost
+from repro.sim.engine import Environment
+from repro.sim.machine import stampede1, stampede2
+
+
+def test_barrier_cost_zero_for_single_host():
+    assert barrier_cost(stampede2(), 1) == 0.0
+
+
+def test_barrier_cost_log_rounds():
+    m = stampede2()
+    c2 = barrier_cost(m, 2)
+    c16 = barrier_cost(m, 16)
+    assert c16 == pytest.approx(4 * c2)
+
+
+def test_barrier_synchronizes():
+    env = Environment()
+    bar = SimBarrier(env, 3, stampede2())
+    arrive, leave = {}, {}
+
+    def worker(env, i):
+        yield env.timeout(i * 1e-4)
+        arrive[i] = env.now
+        yield from bar.arrive()
+        leave[i] = env.now
+
+    for i in range(3):
+        env.process(worker(env, i))
+    env.run()
+    assert min(leave.values()) >= max(arrive.values())
+    # Everyone pays the barrier cost after release.
+    for i in range(3):
+        assert leave[i] == pytest.approx(max(arrive.values()) + bar.cost)
+
+
+def test_barrier_reusable_across_generations():
+    env = Environment()
+    bar = SimBarrier(env, 2, stampede2())
+    crossings = []
+
+    def worker(env, i):
+        for rnd in range(3):
+            yield env.timeout((i + 1) * 1e-5)
+            yield from bar.arrive()
+            crossings.append((rnd, i, env.now))
+
+    env.process(worker(env, 0))
+    env.process(worker(env, 1))
+    env.run()
+    assert len(crossings) == 6
+    # Rounds complete in order, both workers per round at the same time.
+    times = {}
+    for rnd, i, t in crossings:
+        times.setdefault(rnd, set()).add(t)
+    assert all(len(ts) == 1 for ts in times.values())
+
+
+def test_allreduce_sum():
+    env = Environment()
+    ar = AllReducer(env, 4, stampede2())
+    got = {}
+
+    def worker(env, i):
+        total = yield from ar.allreduce_sum(i, i + 1)
+        got[i] = total
+
+    for i in range(4):
+        env.process(worker(env, i))
+    env.run()
+    assert got == {0: 10, 1: 10, 2: 10, 3: 10}
+
+
+def test_allreduce_repeated_rounds():
+    env = Environment()
+    ar = AllReducer(env, 2, stampede1())
+    got = []
+
+    def worker(env, i):
+        for rnd in range(3):
+            total = yield from ar.allreduce_sum(i, rnd * 10 + i)
+            if i == 0:
+                got.append(total)
+
+    env.process(worker(env, 0))
+    env.process(worker(env, 1))
+    env.run()
+    assert got == [1, 21, 41]
+
+
+def test_allreduce_zero_terminates_bsp_convention():
+    env = Environment()
+    ar = AllReducer(env, 2, stampede2())
+    results = []
+
+    def worker(env, i):
+        total = yield from ar.allreduce_sum(i, 0)
+        results.append(total)
+
+    env.process(worker(env, 0))
+    env.process(worker(env, 1))
+    env.run()
+    assert results == [0, 0]

@@ -1,0 +1,30 @@
+"""Every example script must run end-to-end (they are part of the API)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert {"quickstart.py", "runtime_comparison.py",
+            "partitioning_study.py", "microbench_latency.py",
+            "memory_footprint.py"} <= names
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(path):
+    proc = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert proc.returncode == 0, (
+        f"{path.name} failed:\n{proc.stdout}\n{proc.stderr}"
+    )
+    assert proc.stdout.strip(), f"{path.name} printed nothing"

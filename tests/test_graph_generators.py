@@ -1,0 +1,101 @@
+"""Tests for the synthetic graph generators (Table I input families)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import kron, make_graph, rmat, webcrawl
+from repro.graph.properties import graph_properties
+
+
+def test_rmat_size_and_determinism():
+    g1 = rmat(8, edge_factor=8, seed=5)
+    g2 = rmat(8, edge_factor=8, seed=5)
+    assert g1.num_nodes == 256
+    assert g1.num_edges > 0
+    assert np.array_equal(g1.indices, g2.indices)
+    assert np.array_equal(g1.indptr, g2.indptr)
+
+
+def test_rmat_seed_changes_graph():
+    g1 = rmat(8, seed=1)
+    g2 = rmat(8, seed=2)
+    assert not (
+        len(g1.indices) == len(g2.indices)
+        and np.array_equal(g1.indices, g2.indices)
+    )
+
+
+def test_rmat_skewed_degrees():
+    g = rmat(10, edge_factor=16, seed=1)
+    props = graph_properties(g)
+    # Power-law: max degree far above the average.
+    assert props.max_out_degree > 8 * props.avg_degree
+
+
+def test_rmat_weights():
+    g = rmat(6, seed=1, weights=True)
+    assert g.edge_data is not None
+    assert g.edge_data.min() >= 1
+    assert len(g.edge_data) == g.num_edges
+
+
+def test_kron_roughly_symmetric_degrees():
+    g = kron(9, edge_factor=10, seed=2)
+    props = graph_properties(g)
+    # Symmetrized: max in and out degree are identical.
+    assert props.max_in_degree == props.max_out_degree
+
+
+def test_kron_is_symmetric_digraph():
+    g = kron(7, seed=3)
+    src, dst = g.edges()
+    fwd = set(zip(src.tolist(), dst.tolist()))
+    assert all((d, s) in fwd for s, d in fwd)
+
+
+def test_webcrawl_in_degree_asymmetry():
+    """clueweb-like: max in-degree orders of magnitude above max out."""
+    g = webcrawl(12, seed=3)
+    props = graph_properties(g)
+    assert props.max_in_degree > 10 * props.max_out_degree
+
+
+def test_webcrawl_bounded_out_degree():
+    g = webcrawl(10, seed=3, max_out=64)
+    # top-up can exceed the cap slightly, but not wildly
+    assert graph_properties(g).max_out_degree <= 64 + 32
+
+
+def test_webcrawl_edge_factor_respected():
+    g = webcrawl(10, edge_factor=44, seed=3)
+    props = graph_properties(g)
+    # dedup against hub targets trims a fair share; still the densest family
+    assert props.avg_degree > 12
+
+
+def test_make_graph_families():
+    for family in ("rmat", "kron", "webcrawl"):
+        g = make_graph(family, 7, seed=4)
+        assert g.num_nodes == 128
+        assert g.num_edges > 0
+
+
+def test_make_graph_paper_aliases():
+    g = make_graph("rmat28", 7)
+    assert g.name.startswith("rmat")
+    g = make_graph("kron30", 7)
+    assert g.name.startswith("kron")
+    g = make_graph("clueweb12", 7)
+    assert g.name.startswith("webcrawl")
+
+
+def test_make_graph_unknown_family():
+    with pytest.raises(ValueError, match="unknown family"):
+        make_graph("nonsense", 8)
+
+
+def test_no_self_loops_after_dedup():
+    for family in ("rmat", "kron", "webcrawl"):
+        g = make_graph(family, 8, seed=7)
+        src, dst = g.edges()
+        assert not np.any(src == dst), family

@@ -1,0 +1,96 @@
+"""Additional graph-substrate coverage: properties, io errors, structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.csr import CsrGraph
+from repro.graph.generators import kron, rmat, webcrawl
+from repro.graph.io import load_edgelist, save_edgelist
+from repro.graph.partition.edge_cut import balanced_node_blocks
+from repro.graph.properties import GraphProperties, graph_properties
+
+
+def test_properties_empty_graph():
+    g = CsrGraph(np.zeros(4, dtype=np.int64), np.array([], dtype=np.int64), 3)
+    p = graph_properties(g)
+    assert p.num_edges == 0
+    assert p.max_out_degree == 0 and p.max_in_degree == 0
+
+
+def test_properties_as_row_keys():
+    p = graph_properties(rmat(6, seed=1))
+    row = p.as_row()
+    assert set(row) == {"graph", "|V|", "|E|", "|E|/|V|",
+                        "max D_out", "max D_in"}
+
+
+def test_avg_degree_consistency():
+    g = rmat(7, edge_factor=8, seed=2)
+    p = graph_properties(g)
+    assert p.avg_degree == pytest.approx(g.num_edges / g.num_nodes)
+
+
+def test_edgelist_mixed_weights_rejected(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("0 1 5\n1 2\n")
+    with pytest.raises(ValueError, match="weights"):
+        load_edgelist(str(path), num_nodes=3)
+
+
+def test_edgelist_comments_and_blank_lines(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("# header\n\n0 1\n# middle\n1 2\n")
+    g = load_edgelist(str(path), num_nodes=3)
+    assert g.num_edges == 2
+
+
+def test_edgelist_infers_num_nodes(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("0 9\n")
+    g = load_edgelist(str(path))
+    assert g.num_nodes == 10
+
+
+def test_generators_scale_one():
+    """Degenerate scale must not crash (2 nodes)."""
+    for gen in (rmat, kron, webcrawl):
+        g = gen(1, seed=1)
+        assert g.num_nodes == 2
+        src, dst = g.edges()
+        assert not np.any(src == dst)
+
+
+def test_balanced_blocks_single_block():
+    g = rmat(6, seed=1)
+    owner = balanced_node_blocks(g, 1)
+    assert np.all(owner == 0)
+
+
+def test_balanced_blocks_rejects_zero():
+    with pytest.raises(ValueError):
+        balanced_node_blocks(rmat(5, seed=1), 0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    blocks=st.integers(1, 9),
+    seed=st.integers(0, 500),
+)
+def test_property_balanced_blocks_cover_all_nodes(blocks, seed):
+    g = rmat(6, edge_factor=4, seed=seed)
+    owner = balanced_node_blocks(g, blocks)
+    assert len(owner) == g.num_nodes
+    assert owner.min() >= 0 and owner.max() <= blocks - 1
+    assert np.all(np.diff(owner) >= 0)  # contiguous blocks
+
+
+@settings(max_examples=15, deadline=None)
+@given(scale=st.integers(4, 9), seed=st.integers(0, 100))
+def test_property_generators_in_bounds(scale, seed):
+    for gen in (rmat, kron, webcrawl):
+        g = gen(scale, seed=seed)
+        assert g.num_nodes == 1 << scale
+        if g.num_edges:
+            assert g.indices.max() < g.num_nodes
+            assert g.indices.min() >= 0

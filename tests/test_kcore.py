@@ -1,0 +1,90 @@
+"""Tests for the k-core decomposition extension."""
+
+import numpy as np
+import pytest
+
+from repro.apps import KCore, make_app
+from repro.engine import BspEngine, EngineConfig
+from repro.engine.bsp import symmetrize
+from repro.graph.csr import CsrGraph
+from repro.graph.generators import kron, rmat
+
+
+def run(graph, k, hosts=4, layer="lci", policy="cvc"):
+    app = KCore(k=k)
+    eng = BspEngine(
+        graph, app, EngineConfig(num_hosts=hosts, layer=layer, policy=policy)
+    )
+    eng.run()
+    return eng.assemble_global(), app
+
+
+def test_k_must_be_positive():
+    with pytest.raises(ValueError):
+        KCore(k=0)
+
+
+def test_registry_includes_kcore():
+    app = make_app("kcore", k=4)
+    assert isinstance(app, KCore) and app.k == 4
+
+
+def test_reference_on_known_graph():
+    # A triangle (3-clique) with a tail: the 2-core is exactly the triangle.
+    src = np.array([0, 1, 2, 2])
+    dst = np.array([1, 2, 0, 3])
+    g = symmetrize(CsrGraph.from_edges(src, dst, 4))
+    alive = KCore(k=2).reference(g)
+    assert list(alive) == [1, 1, 1, 0]
+
+
+def test_reference_cascading_removal():
+    # A path 0-1-2-3: no node survives a 2-core (peeling cascades).
+    src = np.array([0, 1, 2])
+    dst = np.array([1, 2, 3])
+    g = symmetrize(CsrGraph.from_edges(src, dst, 4))
+    assert KCore(k=2).reference(g).sum() == 0
+
+
+@pytest.mark.parametrize("layer", ["lci", "mpi-probe", "mpi-rma"])
+def test_distributed_matches_reference(layer):
+    g = rmat(8, edge_factor=6, seed=5)
+    got, app = run(g, k=3, layer=layer)
+    want = app.reference(symmetrize(g))
+    assert np.array_equal(got, want), layer
+
+
+@pytest.mark.parametrize("policy", ["cvc", "edge-cut"])
+def test_distributed_across_policies(policy):
+    g = kron(8, seed=9)
+    got, app = run(g, k=4, policy=policy)
+    assert np.array_equal(got, app.reference(symmetrize(g)))
+
+
+def test_kcore_nesting_property():
+    """(k+1)-core is a subgraph of the k-core."""
+    g = rmat(9, edge_factor=8, seed=7)
+    cores = {}
+    for k in (2, 4, 6):
+        got, _ = run(g, k=k, hosts=4)
+        cores[k] = got.astype(bool)
+    assert np.all(cores[4] <= cores[2])
+    assert np.all(cores[6] <= cores[4])
+
+
+def test_core_members_have_core_degree():
+    """Within the k-core, every member has >= k alive neighbours."""
+    g = symmetrize(rmat(8, edge_factor=6, seed=3))
+    got, _ = run(g, k=3, hosts=3)
+    alive = got.astype(bool)
+    src, dst = g.edges()
+    alive_deg = np.zeros(g.num_nodes, dtype=int)
+    sel = alive[src] & alive[dst]
+    np.add.at(alive_deg, src[sel], 1)
+    assert np.all(alive_deg[alive] >= 3)
+
+
+def test_high_k_kills_everything():
+    g = rmat(7, edge_factor=4, seed=2)
+    got, _ = run(g, k=10**6, hosts=2)
+    assert got.sum() == 0

@@ -1,0 +1,108 @@
+"""Tests for machine presets and MPI configuration plumbing."""
+
+import pytest
+
+from repro.lci.config import LciConfig
+from repro.mpi.config import MpiConfig, ThreadMode
+from repro.mpi.presets import MPI_PRESETS, default_mpi, intel_mpi
+from repro.sim.machine import PRESETS, MachineModel, stampede1, stampede2
+
+
+# ---------------------------------------------------------------------------
+# machine presets
+# ---------------------------------------------------------------------------
+def test_presets_registered():
+    assert set(PRESETS) == {"stampede2", "stampede1"}
+    assert isinstance(PRESETS["stampede2"], MachineModel)
+
+
+def test_stampede2_matches_table3():
+    m = stampede2()
+    assert m.cpu.cores == 68           # KNL 7250
+    assert m.nic.rdma                  # Omni-Path supports RDMA
+    # 100 Gb/s link, GB/s order of magnitude.
+    assert 10e9 < m.nic.bandwidth < 14e9
+
+
+def test_stampede1_matches_table3():
+    m = stampede1()
+    assert m.cpu.cores == 16           # 2 x 8 Sandy Bridge
+    # FDR 56 Gb/s is slower than Omni-Path.
+    assert m.nic.bandwidth < stampede2().nic.bandwidth
+
+
+def test_knl_software_slower_than_snb():
+    """Per-core software costs: KNL's slow cores vs SNB's fast ones."""
+    knl, snb = stampede2().cpu, stampede1().cpu
+    assert knl.atomic_op > snb.atomic_op
+    assert knl.per_edge_cost > snb.per_edge_cost
+    assert knl.alloc_cost > snb.alloc_cost
+
+
+def test_stampede1_memory_locality_penalty():
+    """The paper blames S1's memory subsystem for RMA's loss there."""
+    assert stampede1().cpu.cold_read_factor > stampede2().cpu.cold_read_factor
+
+
+def test_with_cores():
+    m = stampede2().with_cores(4)
+    assert m.cpu.cores == 4
+    assert m.nic.bandwidth == stampede2().nic.bandwidth
+
+
+def test_nic_derived_quantities():
+    nic = stampede2().nic
+    assert nic.serialization_time(nic.bandwidth) == pytest.approx(1.0)
+    assert nic.injection_gap == pytest.approx(1.0 / nic.injection_rate)
+
+
+# ---------------------------------------------------------------------------
+# MPI configs
+# ---------------------------------------------------------------------------
+def test_mpi_presets_complete():
+    assert set(MPI_PRESETS) == {"intelmpi", "mvapich2", "openmpi"}
+    assert default_mpi().name == "intelmpi"
+
+
+def test_with_override():
+    cfg = intel_mpi().with_(eager_limit=1)
+    assert cfg.eager_limit == 1
+    assert cfg.name == "intelmpi"
+    assert intel_mpi().eager_limit != 1  # original untouched
+
+
+def test_scaled_shrinks_software_not_protocol():
+    base = intel_mpi()
+    fast = base.scaled(0.5)
+    assert fast.call_overhead == pytest.approx(base.call_overhead * 0.5)
+    assert fast.match_cost_per_element == pytest.approx(
+        base.match_cost_per_element * 0.5
+    )
+    assert fast.rma_sync_overhead == pytest.approx(
+        base.rma_sync_overhead * 0.5
+    )
+    # Protocol constants unchanged.
+    assert fast.eager_limit == base.eager_limit
+    assert fast.eager_credits_per_peer == base.eager_credits_per_peer
+    assert fast.crash_on_exhaustion == base.crash_on_exhaustion
+    assert fast.bandwidth_efficiency == base.bandwidth_efficiency
+
+
+def test_thread_modes():
+    assert ThreadMode.FUNNELED is not ThreadMode.MULTIPLE
+    assert ThreadMode("funneled") is ThreadMode.FUNNELED
+
+
+# ---------------------------------------------------------------------------
+# LCI config
+# ---------------------------------------------------------------------------
+def test_lci_pool_size_rule():
+    cfg = LciConfig(pool_packets_per_host=8, pool_packets_min=64)
+    assert cfg.pool_size(2) == 64      # floor dominates at small scale
+    assert cfg.pool_size(128) == 1024  # linear in hosts at large scale
+
+
+def test_lci_with_override():
+    cfg = LciConfig().with_(packet_data_bytes=2048)
+    assert cfg.packet_data_bytes == 2048
+    assert LciConfig().packet_data_bytes != 2048

@@ -1,0 +1,208 @@
+"""Additional MPI coverage: matching engine units, status, edge paths."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import (
+    ANY_SOURCE,
+    ANY_TAG,
+    MpiStatus,
+    MpiWorld,
+    ThreadMode,
+    intel_mpi,
+)
+from repro.mpi.matching import (
+    PostedQueue,
+    PostedReceive,
+    UnexpectedMessage,
+    UnexpectedQueue,
+)
+from repro.mpi.types import MpiRequest
+from repro.netapi.nic import Fabric
+from repro.sim.engine import Environment
+from repro.sim.machine import stampede2
+
+
+def make_world(num_hosts=2, config=None, mode=ThreadMode.FUNNELED):
+    env = Environment()
+    fabric = Fabric(env, num_hosts, stampede2())
+    return env, MpiWorld(env, fabric, config or intel_mpi(), mode)
+
+
+# ---------------------------------------------------------------------------
+# matching engine units
+# ---------------------------------------------------------------------------
+def test_posted_queue_fifo_and_traversal_count():
+    q = PostedQueue()
+    reqs = [MpiRequest("recv", 0, t, 0) for t in (1, 2, 1)]
+    for r in reqs:
+        q.post(PostedReceive(r, 0, r.tag))
+    entry, inspected = q.match_arrival(src=0, tag=1)
+    assert entry.req is reqs[0]          # first matching wins (FIFO)
+    assert inspected == 1
+    entry, inspected = q.match_arrival(src=0, tag=1)
+    assert entry.req is reqs[2]
+    assert inspected == 2                # skipped the tag-2 entry
+    _e, inspected = q.match_arrival(src=0, tag=9)
+    assert _e is None and inspected == 1  # full traversal of the remnant
+
+
+def test_posted_queue_wildcards():
+    q = PostedQueue()
+    r = MpiRequest("recv", ANY_SOURCE, ANY_TAG, 0)
+    q.post(PostedReceive(r, ANY_SOURCE, ANY_TAG))
+    entry, _ = q.match_arrival(src=5, tag=77)
+    assert entry.req is r
+
+
+def test_posted_queue_cancel():
+    q = PostedQueue()
+    r = MpiRequest("recv", 0, 1, 0)
+    q.post(PostedReceive(r, 0, 1))
+    assert q.cancel(r)
+    assert r.cancelled
+    assert not q.cancel(r)
+    assert len(q) == 0
+
+
+def test_unexpected_queue_probe_does_not_consume():
+    q = UnexpectedQueue()
+    q.add(UnexpectedMessage(3, 7, 100, "x", "eager"))
+    msg, _ = q.match_receive(3, 7, remove=False)
+    assert msg is not None and len(q) == 1
+    msg, _ = q.match_receive(3, 7, remove=True)
+    assert msg is not None and len(q) == 0
+
+
+def test_unexpected_queue_tracks_max_length():
+    q = UnexpectedQueue()
+    for i in range(5):
+        q.add(UnexpectedMessage(0, i, 1, None, "eager"))
+    q.match_receive(0, 2)
+    assert q.max_length == 5
+
+
+def test_request_double_completion_rejected():
+    r = MpiRequest("send", 1, 0, 8)
+    r._complete()
+    with pytest.raises(RuntimeError, match="twice"):
+        r._complete()
+
+
+def test_request_on_complete_after_done_runs_immediately():
+    r = MpiRequest("send", 1, 0, 8)
+    r._complete()
+    hits = []
+    r.on_complete(lambda _r: hits.append(1))
+    assert hits == [1]
+
+
+def test_status_repr():
+    s = MpiStatus(2, 9, 512)
+    assert "src=2" in repr(s) and "512" in repr(s)
+
+
+# ---------------------------------------------------------------------------
+# endpoint paths
+# ---------------------------------------------------------------------------
+def test_negative_user_tag_rejected():
+    from repro.mpi.exceptions import MPIUsageError
+
+    env, world = make_world()
+
+    def bad(env):
+        yield from world.endpoint(0).isend(1, tag=-5, size=8)
+
+    env.process(bad(env))
+    with pytest.raises(MPIUsageError, match="negative user tag"):
+        env.run()
+
+
+def test_unexpected_rendezvous_then_matching_recv():
+    """RTS parks unexpected; a later irecv answers it."""
+    env, world = make_world()
+    big = intel_mpi().eager_limit * 2
+    result = {}
+
+    def sender(env):
+        ep = world.endpoint(0)
+        req = yield from ep.isend(1, tag=4, size=big, payload="late-match")
+        yield from ep.wait(req)
+
+    def receiver(env):
+        ep = world.endpoint(1)
+        yield env.timeout(50e-6)  # let the RTS park as unexpected
+        yield from ep.progress()
+        assert len(ep.unexpected) == 1
+        payload, status = yield from ep.recv(source=0, tag=4)
+        result["payload"] = payload
+        result["count"] = status.count
+
+    env.process(sender(env))
+    env.process(receiver(env))
+    env.run()
+    assert result["payload"] == "late-match"
+    assert result["count"] == big
+
+
+def test_interleaved_pairs_do_not_cross_match():
+    """Four ranks, two independent pairs, same tag: no cross-talk."""
+    env, world = make_world(num_hosts=4)
+    got = {}
+
+    def pair(env, a, b):
+        def sender(env):
+            ep = world.endpoint(a)
+            yield from ep.isend(b, tag=1, size=32, payload=f"{a}->{b}")
+
+        def receiver(env):
+            ep = world.endpoint(b)
+            payload, _ = yield from ep.recv(source=a, tag=1)
+            got[b] = payload
+
+        env.process(sender(env))
+        env.process(receiver(env))
+
+    pair(env, 0, 1)
+    pair(env, 2, 3)
+    env.run()
+    assert got == {1: "0->1", 3: "2->3"}
+
+
+def test_send_blocking_wrapper():
+    env, world = make_world()
+    done = {}
+
+    def sender(env):
+        req = yield from world.endpoint(0).send(1, tag=2, size=64, payload="b")
+        done["req"] = req
+
+    def receiver(env):
+        yield from world.endpoint(1).recv(source=0, tag=2)
+
+    env.process(sender(env))
+    env.process(receiver(env))
+    env.run()
+    assert done["req"].done
+
+
+def test_many_small_messages_under_multiple_mode():
+    env, world = make_world(mode=ThreadMode.MULTIPLE)
+    n = 25
+    got = []
+
+    def sender(env):
+        ep = world.endpoint(0)
+        for i in range(n):
+            yield from ep.isend(1, tag=1, size=16, payload=i, thread="s")
+
+    def receiver(env):
+        ep = world.endpoint(1)
+        for _ in range(n):
+            payload, _ = yield from ep.recv(source=0, tag=1, thread="r")
+            got.append(payload)
+
+    env.process(sender(env))
+    env.process(receiver(env))
+    env.run()
+    assert got == list(range(n))

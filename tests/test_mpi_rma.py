@@ -1,0 +1,217 @@
+"""Tests for MPI one-sided windows with PSCW synchronization."""
+
+import pytest
+
+from repro.mpi import MpiWindow, MpiWorld, ThreadMode, intel_mpi
+from repro.mpi.exceptions import MPIUsageError
+from repro.netapi.nic import Fabric
+from repro.sim.engine import Environment
+from repro.sim.machine import stampede2
+
+
+def make_world(num_hosts=4):
+    env = Environment()
+    fabric = Fabric(env, num_hosts, stampede2())
+    world = MpiWorld(env, fabric, intel_mpi(), ThreadMode.MULTIPLE)
+    return env, world
+
+
+def all_pairs_window(world, slot=4096):
+    return MpiWindow(world, size_fn=lambda o, t: slot, label="test-win")
+
+
+def test_window_create_is_collective_and_allocates():
+    env, world = make_world(4)
+    win = all_pairs_window(world, slot=1000)
+    done = []
+
+    def worker(env, rank):
+        yield from win.create(rank)
+        done.append(rank)
+
+    for r in range(4):
+        env.process(worker(env, r))
+    env.run()
+    assert sorted(done) == [0, 1, 2, 3]
+    # Each rank exposes one slot per possible origin.
+    for r in range(4):
+        assert win.bytes_allocated(r) == 3 * 1000
+
+
+def test_pscw_put_delivers_payload():
+    env, world = make_world(2)
+    win = all_pairs_window(world)
+    result = {}
+
+    def origin(env):
+        yield from win.create(0)
+        yield from win.start(0, [1])
+        yield from win.put(0, 1, 512, payload={"round": 1, "data": [1, 2, 3]})
+        yield from win.complete(0)
+
+    def target(env):
+        yield from win.create(1)
+        yield from win.post(1, [0])
+        blobs = yield from win.wait(1)
+        result["blobs"] = blobs
+
+    env.process(origin(env))
+    env.process(target(env))
+    env.run()
+    assert len(result["blobs"]) == 1
+    src, payload, nbytes = result["blobs"][0]
+    assert src == 0
+    assert payload == {"round": 1, "data": [1, 2, 3]}
+    assert nbytes == 512
+
+
+def test_pscw_all_to_one():
+    env, world = make_world(4)
+    win = all_pairs_window(world)
+    result = {}
+
+    def origin(env, rank):
+        yield from win.create(rank)
+        yield from win.start(rank, [0])
+        yield from win.put(rank, 0, 100 * rank, payload=f"from-{rank}")
+        yield from win.complete(rank)
+
+    def target(env):
+        yield from win.create(0)
+        yield from win.post(0, [1, 2, 3])
+        blobs = yield from win.wait(0)
+        result["blobs"] = {src: payload for src, payload, _ in blobs}
+
+    for r in (1, 2, 3):
+        env.process(origin(env, r))
+    env.process(target(env))
+    env.run()
+    assert result["blobs"] == {1: "from-1", 2: "from-2", 3: "from-3"}
+
+
+def test_fine_grained_test_wait_processes_early_arrivals_first():
+    """The generalized active-target sync scatters per-origin on arrival."""
+    env, world = make_world(3)
+    win = all_pairs_window(world)
+    order = []
+
+    def origin(env, rank, delay):
+        yield from win.create(rank)
+        yield env.timeout(delay)
+        yield from win.start(rank, [0])
+        yield from win.put(rank, 0, 64, payload=rank)
+        yield from win.complete(rank)
+
+    def target(env):
+        yield from win.create(0)
+        yield from win.post(0, [1, 2])
+        # Rank 2 completes much earlier; fine-grained wait sees it first.
+        payload, _ = yield from win.test_wait(0, 2)
+        order.append(payload)
+        payload, _ = yield from win.test_wait(0, 1)
+        order.append(payload)
+        win.finish_exposure(0)
+
+    env.process(origin(env, 1, delay=5e-4))
+    env.process(origin(env, 2, delay=0.0))
+    env.process(target(env))
+    env.run()
+    assert order == [2, 1]
+
+
+def test_put_outside_epoch_rejected():
+    env, world = make_world(2)
+    win = all_pairs_window(world)
+
+    def bad(env):
+        yield from win.create(0)
+        yield from win.put(0, 1, 64, payload="x")
+
+    def other(env):
+        yield from win.create(1)
+
+    env.process(bad(env))
+    env.process(other(env))
+    with pytest.raises(MPIUsageError, match="outside access epoch"):
+        env.run()
+
+
+def test_put_exceeding_slot_rejected():
+    env, world = make_world(2)
+    win = MpiWindow(world, size_fn=lambda o, t: 100)
+
+    def origin(env):
+        yield from win.create(0)
+        yield from win.start(0, [1])
+        yield from win.put(0, 1, 5000, payload="too big")
+
+    def target(env):
+        yield from win.create(1)
+        yield from win.post(1, [0])
+
+    env.process(origin(env))
+    env.process(target(env))
+    with pytest.raises(MPIUsageError, match="worst-case"):
+        env.run()
+
+
+def test_zero_size_pairs_get_no_buffer():
+    env, world = make_world(3)
+    # Only 1->0 communicates.
+    win = MpiWindow(
+        world, size_fn=lambda o, t: 256 if (o, t) == (1, 0) else 0
+    )
+    assert win.bytes_allocated(0) == 256
+    assert win.bytes_allocated(1) == 0
+    assert win.bytes_allocated(2) == 0
+
+
+def test_repeated_epochs_reuse_window():
+    env, world = make_world(2)
+    win = all_pairs_window(world)
+    rounds_received = []
+
+    def origin(env):
+        yield from win.create(0)
+        for rnd in range(3):
+            yield from win.start(0, [1])
+            yield from win.put(0, 1, 64, payload=f"r{rnd}")
+            yield from win.complete(0)
+
+    def target(env):
+        yield from win.create(1)
+        for _ in range(3):
+            yield from win.post(1, [0])
+            blobs = yield from win.wait(1)
+            rounds_received.append(blobs[0][1])
+
+    env.process(origin(env))
+    env.process(target(env))
+    env.run()
+    assert rounds_received == ["r0", "r1", "r2"]
+
+
+def test_start_blocks_until_post():
+    env, world = make_world(2)
+    win = all_pairs_window(world)
+    times = {}
+
+    def origin(env):
+        yield from win.create(0)
+        t0 = env.now
+        yield from win.start(0, [1])
+        times["start_returned"] = env.now
+        times["start_called"] = t0
+        yield from win.complete(0)
+
+    def target(env):
+        yield from win.create(1)
+        yield env.timeout(1e-3)
+        times["posted_at"] = env.now
+        yield from win.post(1, [0])
+        yield from win.wait(1)
+
+    env.process(origin(env))
+    env.process(target(env))
+    env.run()
+    assert times["start_returned"] >= times["posted_at"]

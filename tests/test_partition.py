@@ -1,0 +1,174 @@
+"""Tests for partitioning: edge-cut, CVC, proxies, and sync metadata."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.csr import CsrGraph
+from repro.graph.generators import rmat
+from repro.graph.partition import (
+    blocked_edge_cut,
+    cartesian_vertex_cut,
+    grid_shape,
+    make_partition,
+)
+from repro.graph.partition.edge_cut import balanced_node_blocks
+
+
+def chain_graph(n=8):
+    src = np.arange(n - 1)
+    dst = np.arange(1, n)
+    return CsrGraph.from_edges(src, dst, n, name="chain")
+
+
+# ---------------------------------------------------------------------------
+# Structural invariants shared by all policies
+# ---------------------------------------------------------------------------
+def check_partition_invariants(g, part):
+    p = part.num_hosts
+    # 1. every edge lands on exactly one host
+    total_edges = sum(lg.num_edges for lg in part.locals)
+    assert total_edges == g.num_edges
+    # 2. every node has exactly one master (its owner's local graph)
+    master_count = np.zeros(g.num_nodes, dtype=int)
+    for lg in part.locals:
+        masters = lg.global_ids[: lg.num_masters]
+        master_count[masters] += 1
+        # masters precede mirrors, each in ascending global order
+        assert np.all(np.diff(masters) > 0) if len(masters) > 1 else True
+        assert part.owner[masters].tolist() == [lg.host] * len(masters)
+        mirrors = lg.global_ids[lg.num_masters:]
+        if len(mirrors) > 1:
+            assert np.all(np.diff(mirrors) > 0)
+        assert all(part.owner[m] != lg.host for m in mirrors)
+    assert np.all(master_count == 1)
+    # 3. local CSR edges reproduce the global edge multiset
+    rebuilt = []
+    for lg in part.locals:
+        ls = lg.edge_sources()
+        for s, d in zip(lg.global_ids[ls], lg.global_ids[lg.indices]):
+            rebuilt.append((int(s), int(d)))
+    gsrc, gdst = g.edges()
+    assert sorted(rebuilt) == sorted(zip(gsrc.tolist(), gdst.tolist()))
+    # 4. sync pairs are aligned: same global node on both sides
+    for pairs in (part.reduce_pairs, part.bcast_pairs):
+        for (mh, ph), sp in pairs.items():
+            assert sp.mirror_host == mh and sp.master_host == ph
+            g_mirror = part.locals[mh].global_ids[sp.mirror_ids]
+            g_master = part.locals[ph].global_ids[sp.master_ids]
+            assert np.array_equal(g_mirror, g_master)
+            # master side really is masters; mirror side really is mirrors
+            assert np.all(sp.master_ids < part.locals[ph].num_masters)
+            assert np.all(sp.mirror_ids >= part.locals[mh].num_masters)
+
+
+@pytest.mark.parametrize("policy", ["edge-cut", "cvc"])
+@pytest.mark.parametrize("hosts", [1, 2, 4, 6])
+def test_partition_invariants_rmat(policy, hosts):
+    g = rmat(8, edge_factor=8, seed=11)
+    part = make_partition(g, hosts, policy)
+    check_partition_invariants(g, part)
+
+
+# ---------------------------------------------------------------------------
+# Edge-cut specifics
+# ---------------------------------------------------------------------------
+def test_edge_cut_sources_always_local():
+    """Gemini's policy: edge sources are masters, so no bcast pairs."""
+    g = rmat(8, edge_factor=8, seed=11)
+    part = blocked_edge_cut(g, 4)
+    assert part.policy == "edge-cut"
+    assert len(part.bcast_pairs) == 0
+    assert len(part.reduce_pairs) > 0
+    for lg in part.locals:
+        srcs = lg.edge_sources()
+        assert np.all(srcs < lg.num_masters)
+
+
+def test_edge_cut_balances_edges():
+    g = rmat(10, edge_factor=8, seed=11)
+    part = blocked_edge_cut(g, 4)
+    counts = [lg.num_edges for lg in part.locals]
+    assert max(counts) < 2.5 * (sum(counts) / len(counts))
+
+
+def test_balanced_node_blocks_contiguous():
+    g = rmat(8, edge_factor=8, seed=1)
+    owner = balanced_node_blocks(g, 5)
+    assert np.all(np.diff(owner) >= 0)  # contiguous, non-decreasing
+    assert owner.min() == 0 and owner.max() == 4
+
+
+# ---------------------------------------------------------------------------
+# CVC specifics
+# ---------------------------------------------------------------------------
+def test_grid_shape():
+    assert grid_shape(1) == (1, 1)
+    assert grid_shape(4) == (2, 2)
+    assert grid_shape(6) == (2, 3)
+    assert grid_shape(8) == (2, 4)
+    assert grid_shape(16) == (4, 4)
+    assert grid_shape(7) == (1, 7)
+
+
+def test_cvc_limits_comm_partners():
+    """CVC: hosts only talk within their grid row and column."""
+    g = rmat(9, edge_factor=8, seed=11)
+    hosts = 16
+    part = cartesian_vertex_cut(g, hosts)
+    rows, cols = part.grid
+    assert rows == 4 and cols == 4
+    for h in range(hosts):
+        i, j = divmod(h, cols)
+        allowed = {r * cols + j for r in range(rows)} | {
+            i * cols + jj for jj in range(cols)
+        }
+        assert part.comm_partners(h) <= allowed
+
+
+def test_cvc_reduce_in_columns_bcast_in_rows():
+    g = rmat(9, edge_factor=8, seed=11)
+    part = cartesian_vertex_cut(g, 16)
+    rows, cols = part.grid
+    for (mh, ph) in part.reduce_pairs:
+        assert mh % cols == ph % cols, "reduce must stay within a column"
+    for (mh, ph) in part.bcast_pairs:
+        assert mh // cols == ph // cols, "broadcast must stay within a row"
+
+
+def test_cvc_fewer_partners_than_edge_cut_at_scale():
+    g = rmat(10, edge_factor=16, seed=11)
+    hosts = 16
+    cvc = cartesian_vertex_cut(g, hosts)
+    ec = blocked_edge_cut(g, hosts)
+    cvc_partners = np.mean([len(cvc.comm_partners(h)) for h in range(hosts)])
+    ec_partners = np.mean([len(ec.comm_partners(h)) for h in range(hosts)])
+    assert cvc_partners < ec_partners
+
+
+def test_single_host_partition_has_no_comm():
+    g = rmat(7, seed=1)
+    for policy in ("edge-cut", "cvc"):
+        part = make_partition(g, 1, policy)
+        assert part.reduce_pairs == {}
+        assert part.bcast_pairs == {}
+        assert part.locals[0].num_mirrors == 0
+        assert part.replication_factor() == 1.0
+
+
+def test_unknown_policy_rejected():
+    g = chain_graph()
+    with pytest.raises(ValueError, match="unknown partition policy"):
+        make_partition(g, 2, "metis")
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    hosts=st.sampled_from([2, 3, 4, 6, 8]),
+    seed=st.integers(0, 1000),
+    policy=st.sampled_from(["edge-cut", "cvc"]),
+)
+def test_property_partition_invariants(hosts, seed, policy):
+    g = rmat(6, edge_factor=6, seed=seed)
+    part = make_partition(g, hosts, policy)
+    check_partition_invariants(g, part)

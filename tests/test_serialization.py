@@ -1,0 +1,87 @@
+"""Tests for update-blob serialization and metadata minimization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.comm.serialization import (
+    HEADER_BYTES,
+    UpdateBlob,
+    metadata_bytes,
+    pack_cost,
+    pack_updates,
+    unpack_cost,
+    unpack_updates,
+)
+from repro.sim.machine import stampede2
+
+
+def test_pack_roundtrip():
+    pos = np.array([1, 5, 9])
+    vals = np.array([10, 50, 90], dtype=np.int64)
+    blob = pack_updates(pos, vals, pair_len=16, field_bytes=8, phase=(0, "r"))
+    p, v = unpack_updates(blob)
+    assert np.array_equal(p, pos)
+    assert np.array_equal(v, vals)
+    assert blob.count == 3
+    assert blob.phase == (0, "r")
+
+
+def test_metadata_chooses_smaller_encoding():
+    # Few updates over a long pair: index list (4B each) wins.
+    size, enc = metadata_bytes(num_updates=2, pair_len=1024)
+    assert enc == "indices" and size == 8
+    # Dense updates: bitset wins.
+    size, enc = metadata_bytes(num_updates=500, pair_len=1024)
+    assert enc == "bitset" and size == 128
+
+
+def test_nbytes_formula():
+    blob = pack_updates(
+        np.arange(4), np.arange(4, dtype=np.int64), pair_len=64, field_bytes=8
+    )
+    meta = min((64 + 7) // 8, 4 * 4)
+    assert blob.nbytes == HEADER_BYTES + meta + 4 * 8
+    assert blob.meta_encoding == "bitset"  # 8 bytes <= 16 bytes
+
+
+def test_empty_blob():
+    blob = pack_updates(
+        np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+        pair_len=100, field_bytes=8,
+    )
+    assert blob.count == 0
+    assert blob.nbytes == HEADER_BYTES + 0  # empty index list beats bitset
+
+
+def test_position_beyond_pair_rejected():
+    with pytest.raises(ValueError, match="beyond pair length"):
+        pack_updates(np.array([10]), np.array([1]), pair_len=10, field_bytes=8)
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(ValueError, match="mismatch"):
+        pack_updates(np.array([1, 2]), np.array([1]), pair_len=10, field_bytes=8)
+
+
+def test_costs_monotone_in_size():
+    cpu = stampede2().cpu
+    assert pack_cost(cpu, 10, 1000) < pack_cost(cpu, 100, 10000)
+    assert unpack_cost(cpu, 0, 0) == 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    pair_len=st.integers(1, 4096),
+    n=st.integers(0, 256),
+    field_bytes=st.sampled_from([4, 8, 16]),
+)
+def test_property_metadata_never_exceeds_either_encoding(pair_len, n, field_bytes):
+    n = min(n, pair_len)
+    pos = np.arange(n, dtype=np.int64)
+    vals = np.zeros(n, dtype=np.int64)
+    blob = pack_updates(pos, vals, pair_len, field_bytes)
+    meta = blob.nbytes - HEADER_BYTES - n * field_bytes
+    assert meta <= (pair_len + 7) // 8
+    assert meta <= 4 * n or n == 0
+    assert meta >= 0

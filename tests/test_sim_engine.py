@@ -1,0 +1,310 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        yield env.timeout(2.5)
+        seen.append(env.now)
+        yield env.timeout(1.0)
+        seen.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert seen == [2.5, 3.5]
+    assert env.now == 3.5
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_timeout_carries_value():
+    env = Environment()
+    out = []
+
+    def proc(env):
+        v = yield env.timeout(1, value="hello")
+        out.append(v)
+
+    env.process(proc(env))
+    env.run()
+    assert out == ["hello"]
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    env = Environment()
+    order = []
+
+    def proc(env, tag):
+        yield env.timeout(1.0)
+        order.append(tag)
+
+    for i in range(5):
+        env.process(proc(env, i))
+    env.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_event_succeed_wakes_waiter():
+    env = Environment()
+    ev = env.event()
+    got = []
+
+    def waiter(env):
+        val = yield ev
+        got.append((env.now, val))
+
+    def trigger(env):
+        yield env.timeout(4)
+        ev.succeed(42)
+
+    env.process(waiter(env))
+    env.process(trigger(env))
+    env.run()
+    assert got == [(4, 42)]
+
+
+def test_event_double_trigger_raises():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_fail_propagates_into_process():
+    env = Environment()
+    ev = env.event()
+    caught = []
+
+    def waiter(env):
+        try:
+            yield ev
+        except ValueError as e:
+            caught.append(str(e))
+
+    env.process(waiter(env))
+    ev.fail(ValueError("boom"))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_failed_event_crashes_run():
+    env = Environment()
+    ev = env.event()
+    ev.fail(RuntimeError("nobody caught me"))
+    with pytest.raises(RuntimeError, match="nobody caught me"):
+        env.run()
+
+
+def test_defused_failure_does_not_crash():
+    env = Environment()
+    ev = env.event()
+    ev.fail(RuntimeError("quiet"))
+    ev.defuse()
+    env.run()  # should not raise
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(1)
+        return "done"
+
+    def parent(env):
+        result = yield env.process(child(env))
+        return result + "!"
+
+    p = env.process(parent(env))
+    assert env.run_process(p) == "done!"
+
+
+def test_process_waiting_on_already_processed_event():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(1)
+        return 7
+
+    def parent(env):
+        c = env.process(child(env))
+        yield env.timeout(10)  # child long done
+        val = yield c
+        return val
+
+    p = env.process(parent(env))
+    assert env.run_process(p) == 7
+    assert env.now == 10
+
+
+def test_process_exception_propagates_to_waiter():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1)
+        raise KeyError("inner")
+
+    def parent(env):
+        try:
+            yield env.process(bad(env))
+        except KeyError:
+            return "caught"
+
+    p = env.process(parent(env))
+    assert env.run_process(p) == "caught"
+
+
+def test_yield_non_event_fails_process():
+    env = Environment()
+
+    def bad(env):
+        yield 123
+
+    p = env.process(bad(env))
+    with pytest.raises(SimulationError, match="non-event"):
+        env.run()
+    assert p.triggered and not p.ok
+
+
+def test_interrupt_resumes_with_cause():
+    env = Environment()
+    log = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt as i:
+            log.append((env.now, i.cause))
+
+    def interrupter(env, victim):
+        yield env.timeout(3)
+        victim.interrupt("wake up")
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert log == [(3, "wake up")]
+
+
+def test_interrupt_dead_process_is_noop():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1)
+
+    p = env.process(quick(env))
+    env.run()
+    p.interrupt()  # no error
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+    results = []
+
+    def proc(env):
+        t1 = env.timeout(5, value="slow")
+        t2 = env.timeout(2, value="fast")
+        got = yield env.any_of([t1, t2])
+        results.append((env.now, got))
+
+    env.process(proc(env))
+    env.run()
+    assert results[0][0] == 2
+    assert results[0][1] == {1: "fast"}
+
+
+def test_all_of_waits_for_all():
+    env = Environment()
+    results = []
+
+    def proc(env):
+        t1 = env.timeout(5, value="a")
+        t2 = env.timeout(2, value="b")
+        got = yield env.all_of([t1, t2])
+        results.append((env.now, got))
+
+    env.process(proc(env))
+    env.run()
+    assert results == [(5, {0: "a", 1: "b"})]
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+    done = []
+
+    def proc(env):
+        yield env.all_of([])
+        done.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert done == [0.0]
+
+
+def test_run_until_stops_clock():
+    env = Environment()
+
+    def proc(env):
+        for _ in range(10):
+            yield env.timeout(1)
+
+    env.process(proc(env))
+    env.run(until=3.5)
+    assert env.now == 3.5
+
+
+def test_max_events_guard():
+    env = Environment()
+
+    def spinner(env):
+        while True:
+            yield env.timeout(0)
+
+    env.process(spinner(env))
+    with pytest.raises(SimulationError, match="max_events"):
+        env.run(max_events=100)
+
+
+def test_schedule_callback():
+    env = Environment()
+    hits = []
+    env.schedule_callback(2.0, lambda: hits.append(env.now))
+    env.run()
+    assert hits == [2.0]
+
+
+def test_peek():
+    env = Environment()
+    assert env.peek() == float("inf")
+    env.timeout(3)
+    assert env.peek() == 3
+
+
+def test_run_process_unfinished_raises():
+    env = Environment()
+
+    def waits_forever(env):
+        yield env.event()
+
+    p = env.process(waits_forever(env))
+    with pytest.raises(SimulationError, match="did not finish"):
+        env.run_process(p)

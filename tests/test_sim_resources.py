@@ -1,0 +1,229 @@
+"""Unit tests for Store / Resource / Lock."""
+
+import pytest
+
+from repro.sim.engine import Environment, SimulationError
+from repro.sim.resources import Lock, Resource, Store
+
+
+# ---------------------------------------------------------------------------
+# Store
+# ---------------------------------------------------------------------------
+def test_store_fifo_order():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer(env):
+        for i in range(3):
+            yield env.timeout(1)
+            yield store.put(i)
+
+    def consumer(env):
+        for _ in range(3):
+            item = yield store.get()
+            got.append((env.now, item))
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert got == [(1, 0), (2, 1), (3, 2)]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(env):
+        item = yield store.get()
+        got.append((env.now, item))
+
+    def producer(env):
+        yield env.timeout(5)
+        yield store.put("x")
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert got == [(5, "x")]
+
+
+def test_store_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    timeline = []
+
+    def producer(env):
+        yield store.put("a")
+        timeline.append(("put-a", env.now))
+        yield store.put("b")
+        timeline.append(("put-b", env.now))
+
+    def consumer(env):
+        yield env.timeout(3)
+        item = yield store.get()
+        timeline.append(("got-" + item, env.now))
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert ("put-a", 0) in timeline
+    assert ("put-b", 3) in timeline  # unblocked by the get at t=3
+
+
+def test_store_try_put_try_get():
+    env = Environment()
+    store = Store(env, capacity=2)
+    assert store.try_get() is None
+    assert store.try_put(1)
+    assert store.try_put(2)
+    assert not store.try_put(3)
+    assert store.try_get() == 1
+    assert len(store) == 1
+
+
+def test_store_try_put_hands_to_waiting_getter():
+    env = Environment()
+    store = Store(env, capacity=1)
+    got = []
+
+    def consumer(env):
+        item = yield store.get()
+        got.append(item)
+
+    env.process(consumer(env))
+    env.run()  # consumer now blocked
+    assert store.try_put("direct")
+    env.run()
+    assert got == ["direct"]
+    assert len(store) == 0
+
+
+def test_store_zero_capacity_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Store(env, capacity=0)
+
+
+# ---------------------------------------------------------------------------
+# Resource
+# ---------------------------------------------------------------------------
+def test_resource_capacity_enforced():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    active = []
+    peak = []
+
+    def worker(env, i):
+        yield res.request()
+        active.append(i)
+        peak.append(len(active))
+        yield env.timeout(1)
+        active.remove(i)
+        res.release()
+
+    for i in range(5):
+        env.process(worker(env, i))
+    env.run()
+    assert max(peak) == 2
+
+
+def test_resource_try_request():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    assert res.try_request()
+    assert not res.try_request()
+    res.release()
+    assert res.try_request()
+
+
+def test_resource_release_without_request_raises():
+    env = Environment()
+    res = Resource(env)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_resource_fifo_grant_order():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    grants = []
+
+    def worker(env, i):
+        yield env.timeout(i * 0.1)  # stagger arrival
+        yield res.request()
+        grants.append(i)
+        yield env.timeout(10)
+        res.release()
+
+    for i in range(4):
+        env.process(worker(env, i))
+    env.run()
+    assert grants == [0, 1, 2, 3]
+
+
+# ---------------------------------------------------------------------------
+# Lock
+# ---------------------------------------------------------------------------
+def test_lock_mutual_exclusion_and_cost():
+    env = Environment()
+    lock = Lock(env, acquire_cost=0.5)
+    inside = []
+
+    def critical(env, i):
+        yield from lock.acquire()
+        inside.append(("enter", i, env.now))
+        yield env.timeout(1)
+        inside.append(("exit", i, env.now))
+        lock.release()
+
+    env.process(critical(env, 0))
+    env.process(critical(env, 1))
+    env.run()
+    # First holder enters after paying acquire cost.
+    assert inside[0] == ("enter", 0, 0.5)
+    # Second cannot enter before the first exits.
+    enter1 = [e for e in inside if e[0] == "enter" and e[1] == 1][0]
+    exit0 = [e for e in inside if e[0] == "exit" and e[1] == 0][0]
+    assert enter1[2] >= exit0[2]
+
+
+def test_lock_contention_counter():
+    env = Environment()
+    lock = Lock(env)
+
+    def holder(env):
+        yield from lock.acquire()
+        yield env.timeout(5)
+        lock.release()
+
+    def contender(env):
+        yield env.timeout(1)
+        yield from lock.acquire()
+        lock.release()
+
+    env.process(holder(env))
+    env.process(contender(env))
+    env.run()
+    assert lock.acquisitions == 2
+    assert lock.contended_acquisitions == 1
+
+
+def test_lock_held_releases_on_exception():
+    env = Environment()
+    lock = Lock(env)
+
+    def body(env):
+        yield env.timeout(1)
+        raise ValueError("inner failure")
+
+    def proc(env):
+        try:
+            yield from lock.held(body(env))
+        except ValueError:
+            pass
+        return lock.locked
+
+    p = env.process(proc(env))
+    assert env.run_process(p) is False

@@ -1,0 +1,129 @@
+"""Unit tests for the vertex-program base and the shared min_relax kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.bfs import INF
+from repro.engine.vertex_program import ComputeResult, VertexProgram, min_relax
+from repro.graph.csr import CsrGraph
+from repro.graph.generators import rmat
+from repro.graph.partition import make_partition
+
+
+def local_of(graph, hosts=1, policy="edge-cut", host=0):
+    return make_partition(graph, hosts, policy).local(host)
+
+
+def chain(n=6):
+    return CsrGraph.from_edges(
+        np.arange(n - 1), np.arange(1, n), n, name="chain"
+    )
+
+
+# ---------------------------------------------------------------------------
+# min_relax
+# ---------------------------------------------------------------------------
+def test_min_relax_empty_active():
+    lg = local_of(chain())
+    label = np.full(lg.num_local, INF, dtype=np.int64)
+    res = min_relax(
+        lg, label, np.zeros(lg.num_local, dtype=bool),
+        lambda s, e: label[s] + 1,
+    )
+    assert res.work_edges == 0 and res.work_nodes == 0
+    assert len(res.updated) == 0
+
+
+def test_min_relax_propagates_one_hop():
+    lg = local_of(chain())
+    label = np.full(lg.num_local, INF, dtype=np.int64)
+    label[0] = 0
+    active = np.zeros(lg.num_local, dtype=bool)
+    active[0] = True
+    res = min_relax(lg, label, active, lambda s, e: label[s] + 1)
+    assert label[1] == 1
+    assert list(res.updated) == [1]
+    assert res.work_edges == 1 and res.work_nodes == 1
+
+
+def test_min_relax_counts_all_edges_of_active():
+    g = rmat(6, edge_factor=6, seed=4)
+    lg = local_of(g)
+    label = np.zeros(lg.num_local, dtype=np.int64)
+    active = np.ones(lg.num_local, dtype=bool)
+    res = min_relax(lg, label, active, lambda s, e: label[s] + 1)
+    assert res.work_edges == lg.num_edges
+    assert res.work_nodes == lg.num_local
+
+
+def test_min_relax_reports_only_improved():
+    lg = local_of(chain(4))
+    label = np.array([0, 1, 5, INF], dtype=np.int64)
+    active = np.ones(4, dtype=bool)
+    res = min_relax(lg, label, active, lambda s, e: label[s] + 1)
+    # 0->1 doesn't improve (1 == 1); 1->2 improves to 2; 2->3 improves.
+    assert set(res.updated) == {2, 3}
+    assert label[2] == 2
+
+
+def test_min_relax_duplicate_targets_reported_once():
+    # Two actives both pointing at node 2.
+    g = CsrGraph.from_edges(np.array([0, 1]), np.array([2, 2]), 3)
+    lg = local_of(g)
+    label = np.array([0, 0, INF], dtype=np.int64)
+    res = min_relax(
+        lg, label, np.array([True, True, False]),
+        lambda s, e: label[s] + 1,
+    )
+    assert list(res.updated) == [2]
+    assert label[2] == 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 5000))
+def test_property_min_relax_never_increases_labels(seed):
+    g = rmat(6, edge_factor=5, seed=seed)
+    lg = local_of(g)
+    rng = np.random.default_rng(seed)
+    label = rng.integers(0, 50, lg.num_local).astype(np.int64)
+    before = label.copy()
+    active = rng.random(lg.num_local) < 0.5
+    min_relax(lg, label, active, lambda s, e: label[s] + 1)
+    assert np.all(label <= before)
+
+
+# ---------------------------------------------------------------------------
+# base-class defaults
+# ---------------------------------------------------------------------------
+def test_base_class_defaults():
+    vp = VertexProgram()
+    assert vp.post_reduce(None, {}).size == 0
+    vp.reset_after_reduce_send({}, None)  # no-op must not raise
+    assert vp.local_quiescent_metric(
+        None, {}, np.array([True, False, True])
+    ) == 2.0
+
+
+def test_base_class_abstract_hooks_raise():
+    vp = VertexProgram()
+    for call in (
+        lambda: vp.init_state(None, None),
+        lambda: vp.initial_active(None, None),
+        lambda: vp.compute(None, None, None),
+        lambda: vp.reduce_values(None, None),
+        lambda: vp.apply_reduce(None, None, None),
+        lambda: vp.bcast_values(None, None),
+        lambda: vp.apply_bcast(None, None, None),
+        lambda: vp.next_active(None, None),
+        lambda: vp.extract_masters(None, None),
+        lambda: vp.reference(None),
+    ):
+        with pytest.raises(NotImplementedError):
+            call()
+
+
+def test_compute_result_fields():
+    res = ComputeResult(np.array([1, 2]), 10, 3)
+    assert res.work_edges == 10 and res.work_nodes == 3
+    assert list(res.updated) == [1, 2]
