@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Resilience under packet loss: LCI's recovery overhead vs MPI's failures.
+
+Sweeps uniform drop rates and runs the same BFS workload on all three
+communication layers under each rate.  LCI's ack/retransmit protocol
+absorbs the drops — the answer stays bit-identical to the fault-free run
+and the cost shows up as measurable recovery overhead (retransmissions,
+extra simulated time).  The MPI layers assume a reliable transport, as
+real MPI does, so the same drops cost them the whole run: a dropped
+completion leaves a request forever pending and the run hangs
+(``LostCompletionError``).
+
+Every fault draw comes from a seeded RNG stream, so the table below is
+deterministic and reproducible.
+
+Run:  python examples/chaos_study.py
+"""
+
+from repro.bench.report import format_table
+from repro.bench.scenarios import Scenario
+from repro.faults import FaultPlan, FaultSpec
+from repro.faults.harness import run_chaos
+
+DROP_RATES = [0.005, 0.01, 0.02, 0.05]
+LAYERS = ["lci", "mpi-probe", "mpi-rma"]
+FAULT_SEED = 7
+
+
+def drop_plan(rate):
+    return FaultPlan(
+        specs=(FaultSpec("drop", rate=rate),),
+        seed=FAULT_SEED,
+        name=f"drop-{rate * 100:g}pct",
+    )
+
+
+def main():
+    rows = []
+    reports = {}
+    for rate in DROP_RATES:
+        plan = drop_plan(rate)
+        row = {"drop rate": f"{rate * 100:g}%"}
+        for layer in LAYERS:
+            sc = Scenario(app="bfs", graph="rmat", scale=10, hosts=8,
+                          layer=layer)
+            rep = run_chaos(sc, plan)
+            reports[(rate, layer)] = rep
+            if rep.outcome == "recovered":
+                row[layer] = (f"+{rep.overhead * 100:.1f}% "
+                              f"({rep.recovery.get('retransmissions', 0)} rtx)")
+            else:
+                row[layer] = rep.outcome
+        rows.append(row)
+
+    print("bfs on rmat10, 8 simulated hosts — outcome per layer")
+    print("(recovered = answer identical to fault-free run; cell shows")
+    print(" recovery overhead in simulated time and retransmission count)\n")
+    print(format_table(rows))
+
+    print("\nper-layer recovery detail at the highest drop rate:")
+    worst = DROP_RATES[-1]
+    for layer in LAYERS:
+        rep = reports[(worst, layer)]
+        if rep.outcome == "recovered":
+            pairs = ", ".join(f"{k}={v}" for k, v in sorted(rep.recovery.items()))
+            detail = f"{rep.overhead * 100:+.1f}% overhead; {pairs}"
+        else:
+            detail = f"{rep.outcome} after {sum(rep.fault_counts.values())} faults"
+        print(f"  {layer:10s} {detail}")
+
+    print("\nthe asymmetry is the paper's Section III-D resilience claim in")
+    print("miniature: LCI surfaces transport-level trouble to a layer that")
+    print("can retry, while MPI's matching machinery has no recovery path.")
+
+
+if __name__ == "__main__":
+    main()

@@ -28,13 +28,14 @@ from repro.lci.config import LciConfig
 from repro.mpi.presets import MPI_PRESETS
 from repro.sim.machine import PRESETS as MACHINE_PRESETS
 
-__all__ = ["Scenario", "run_scenario", "cached_graph"]
+__all__ = ["Scenario", "run_scenario", "build_engine", "cached_graph"]
 
 
 @lru_cache(maxsize=32)
 def cached_graph(family: str, scale: int, seed: int, weights: bool):
-    """Generated inputs are immutable; share them across scenario runs."""
-    return make_graph(family, scale, seed=seed, weights=weights)
+    """Generated inputs are shared across scenario runs — frozen, so no
+    run (or app bug) can mutate the arrays another run will read."""
+    return make_graph(family, scale, seed=seed, weights=weights).freeze()
 
 
 @dataclass(frozen=True)
@@ -57,16 +58,38 @@ class Scenario:
     lci_pool_packets_per_host: Optional[int] = None
     lci_packet_bytes: Optional[int] = None
     lci_pool_packets_min: Optional[int] = None
+    #: Named fault plan (``repro.faults.NAMED_PLANS``) to run under;
+    #: ``None`` keeps the cluster fault-free.
+    fault_plan: Optional[str] = None
+    #: Seed of the fault plan's draw streams (defaults to the plan's own).
+    fault_seed: Optional[int] = None
 
     def label(self) -> str:
-        return (
+        base = (
             f"{self.system}/{self.app}/{self.graph}{self.scale}"
             f"@{self.hosts}h/{self.layer}"
         )
+        if self.fault_plan and self.fault_plan != "none":
+            base += f"+{self.fault_plan}"
+        return base
 
 
 def run_scenario(sc: Scenario) -> RunMetrics:
     """Execute one scenario on a fresh simulated cluster."""
+    return build_engine(sc).run()
+
+
+def build_engine(
+    sc: Scenario, tracer=None, fault_plan=None
+) -> BspEngine:
+    """Construct the (unrun) engine for a scenario.
+
+    ``tracer`` attaches a :class:`repro.sim.trace.Tracer`; ``fault_plan``
+    (a plan object or name) overrides the scenario's own ``fault_plan``
+    field.  Callers that need the engine afterwards — for
+    ``assemble_global`` or injector statistics — use this instead of
+    :func:`run_scenario`.
+    """
     if sc.system not in ("abelian", "gemini"):
         raise ValueError(f"unknown system {sc.system!r}")
     machine = MACHINE_PRESETS[sc.machine]
@@ -105,6 +128,11 @@ def run_scenario(sc: Scenario) -> RunMetrics:
         if sc.layer == "mpi-probe":
             layer_kwargs["inline_sends"] = True
 
+    if fault_plan is None and sc.fault_plan is not None:
+        from repro.faults import get_plan
+
+        fault_plan = get_plan(sc.fault_plan, sc.fault_seed)
+
     policy = "cvc" if sc.system == "abelian" else "edge-cut"
     cfg = EngineConfig(
         num_hosts=sc.hosts,
@@ -113,6 +141,7 @@ def run_scenario(sc: Scenario) -> RunMetrics:
         layer=sc.layer,
         layer_kwargs=layer_kwargs,
         work_scale=sc.work_scale,
+        tracer=tracer,
+        fault_plan=fault_plan,
     )
-    engine = BspEngine(graph, app, cfg)
-    return engine.run()
+    return BspEngine(graph, app, cfg)

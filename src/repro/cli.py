@@ -5,6 +5,7 @@
     python -m repro run --app bfs --graph rmat --scale 12 --hosts 16 \\
         --layer lci [--trace trace.json]
     python -m repro sweep --app pagerank --graph kron --hosts 4 16 64
+    python -m repro chaos --plan flaky-link --layer lci [--list-plans]
     python -m repro micro [--sizes 8 512 65536] [--threads 1 8 64]
     python -m repro inputs --scale 14
     python -m repro calibrate
@@ -20,7 +21,7 @@ from typing import List, Optional
 
 from repro.bench.micro import MICRO_INTERFACES, message_rate, pingpong_latency
 from repro.bench.report import format_seconds, format_table
-from repro.bench.scenarios import Scenario, run_scenario
+from repro.bench.scenarios import Scenario, build_engine, run_scenario
 from repro.comm.layer_base import LAYER_NAMES
 
 __all__ = ["main", "build_parser"]
@@ -51,6 +52,31 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=1)
     run.add_argument("--trace", metavar="PATH",
                      help="write a chrome://tracing timeline JSON")
+
+    chaos = sub.add_parser(
+        "chaos", help="run one scenario under a named fault plan"
+    )
+    chaos.add_argument("--plan", default="flaky-link",
+                       help="fault plan name (see --list-plans)")
+    chaos.add_argument("--fault-seed", type=int, default=None,
+                       help="seed of the fault draw streams")
+    chaos.add_argument("--list-plans", action="store_true",
+                       help="list the named fault plans and exit")
+    chaos.add_argument("--app", default="bfs",
+                       choices=["bfs", "cc", "sssp", "pagerank", "kcore"])
+    chaos.add_argument("--graph", default="rmat",
+                       choices=["rmat", "kron", "webcrawl"])
+    chaos.add_argument("--scale", type=int, default=10)
+    chaos.add_argument("--hosts", type=int, default=4)
+    chaos.add_argument("--layer", default="lci", choices=list(LAYER_NAMES))
+    chaos.add_argument("--system", default="abelian",
+                       choices=["abelian", "gemini"])
+    chaos.add_argument("--machine", default="stampede2",
+                       choices=["stampede2", "stampede1"])
+    chaos.add_argument("--seed", type=int, default=1)
+    chaos.add_argument("--trace", metavar="PATH",
+                       help="write a chrome://tracing timeline JSON with "
+                            "fault instants")
 
     sweep = sub.add_parser("sweep", help="host-count sweep across layers")
     sweep.add_argument("--app", default="pagerank",
@@ -87,24 +113,8 @@ def _cmd_run(args) -> int:
         mpi_impl=args.mpi_impl, pagerank_rounds=args.pagerank_rounds,
         seed=args.seed,
     )
-    if tracer is None:
-        m = run_scenario(sc)
-    else:
-        # Re-implement the scenario run with a tracer-carrying config.
-        from repro.bench.scenarios import cached_graph
-        from repro.apps import make_app
-        from repro.engine import BspEngine, EngineConfig
-        from repro.sim.machine import PRESETS
-
-        graph = cached_graph(sc.graph, sc.scale, sc.seed, sc.app == "sssp")
-        kwargs = {"max_rounds": sc.pagerank_rounds} if sc.app == "pagerank" else {}
-        cfg = EngineConfig(
-            num_hosts=sc.hosts, machine=PRESETS[sc.machine],
-            policy="cvc" if sc.system == "abelian" else "edge-cut",
-            layer=sc.layer, tracer=tracer,
-        )
-        eng = BspEngine(graph, make_app(sc.app, **kwargs), cfg)
-        m = eng.run()
+    m = build_engine(sc, tracer=tracer).run()
+    if tracer is not None:
         tracer.save(args.trace)
         print(f"trace written to {args.trace}")
     print(format_table([m.row()]))
@@ -112,6 +122,39 @@ def _cmd_run(args) -> int:
           f"{format_seconds(m.compute_seconds)} + comm "
           f"{format_seconds(m.comm_seconds)} over {m.rounds} rounds")
     return 0
+
+
+def _cmd_chaos(args) -> int:
+    from repro.faults import NAMED_PLANS, get_plan
+    from repro.faults.harness import format_chaos_report, run_chaos
+
+    if args.list_plans:
+        rows = [
+            {"plan": name, "faults": plan.describe()}
+            for name, plan in sorted(NAMED_PLANS.items())
+        ]
+        print(format_table(rows))
+        return 0
+    try:
+        plan = get_plan(args.plan, args.fault_seed)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    tracer = None
+    if args.trace:
+        from repro.sim.trace import Tracer
+        tracer = Tracer()
+    sc = Scenario(
+        app=args.app, graph=args.graph, scale=args.scale, hosts=args.hosts,
+        layer=args.layer, system=args.system, machine=args.machine,
+        seed=args.seed,
+    )
+    report = run_chaos(sc, plan, tracer=tracer)
+    if tracer is not None:
+        tracer.save(args.trace)
+        print(f"trace written to {args.trace}")
+    print(format_chaos_report(report))
+    return 0 if report.outcome == "recovered" else 1
 
 
 def _cmd_sweep(args) -> int:
@@ -188,6 +231,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
         "run": _cmd_run,
+        "chaos": _cmd_chaos,
         "sweep": _cmd_sweep,
         "micro": _cmd_micro,
         "inputs": _cmd_inputs,

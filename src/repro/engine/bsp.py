@@ -86,6 +86,10 @@ class EngineConfig:
     #: emits per-round compute/gather/scatter/sync spans for timeline
     #: visualization (chrome://tracing).
     tracer: Optional[object] = None
+    #: Optional fault injection: a :class:`repro.faults.FaultPlan`, the
+    #: name of one (``repro.faults.NAMED_PLANS``), or ``None`` for a
+    #: fault-free run (the default; no hooks are installed).
+    fault_plan: Optional[object] = None
 
 
 class BspEngine:
@@ -107,6 +111,17 @@ class BspEngine:
         )
         self.env = Environment()
         self.fabric = Fabric(self.env, config.num_hosts, config.machine)
+        # The injector must be installed before the layers are built so
+        # LCI can arm its ack/retransmit recovery protocol.
+        self.injector = None
+        if config.fault_plan is not None:
+            from repro.faults import FaultInjector, get_plan
+
+            plan = get_plan(config.fault_plan)
+            if not plan.empty:
+                self.injector = FaultInjector(
+                    self.env, plan, tracer=config.tracer
+                ).install(self.fabric)
         self.layers: List[CommLayer] = make_layers(
             config.layer, self.env, self.fabric, config.machine,
             **config.layer_kwargs,
@@ -151,6 +166,16 @@ class BspEngine:
         self.env.run(max_events=self.config.max_events)
         for p in procs:
             if not p.triggered:
+                if self.injector is not None:
+                    from repro.faults import LostCompletionError
+
+                    raise LostCompletionError(
+                        f"{p.name} never finished under fault plan "
+                        f"{self.injector.plan.name or 'custom'!r}: a lost "
+                        f"completion hung the "
+                        f"{self.config.layer} layer "
+                        f"(faults injected: {self.injector.counts()})"
+                    )
                 raise RuntimeError(f"{p.name} never finished (deadlock?)")
             if not p.ok:
                 raise p._value
@@ -200,7 +225,7 @@ class BspEngine:
                 + res.work_edges * cpu.per_edge_cost
             ) * self.config.work_scale / threads
             if compute_cost > 0:
-                yield env.timeout(compute_cost)
+                yield env.charged_timeout(compute_cost, actor=h)
             self._compute_rounds[h].append(env.now - t0)
             t_comm = env.now
             if tracer is not None:
@@ -232,7 +257,9 @@ class BspEngine:
                 dirty_bcast[extra] = True
             if app.reduce_op == "add" and lg.num_masters:
                 # The damping update touches every master once.
-                yield env.timeout(lg.num_masters * cpu.per_node_cost / threads)
+                yield env.charged_timeout(
+                    lg.num_masters * cpu.per_node_cost / threads, actor=h
+                )
 
             # ---------------- broadcast sync ----------------
             if self._has_bcast:
@@ -312,7 +339,7 @@ class BspEngine:
             self._payload_bytes[h] += blob.nbytes
             self._updates_shipped[h] += len(positions)
         if gather_cost > 0:
-            yield env.timeout(gather_cost / threads)
+            yield env.charged_timeout(gather_cost / threads, actor=h)
 
         if layer.parallel_send and len(blobs) > 1:
             # Compute threads initiate sends concurrently (up to the
@@ -352,7 +379,7 @@ class BspEngine:
                 scatter_cost += unpack_cost(cpu, len(ids), blob.nbytes) * cold
                 layer.consume(blob)
             if scatter_cost > 0:
-                yield env.timeout(scatter_cost / threads)
+                yield env.charged_timeout(scatter_cost / threads, actor=h)
         yield from layer.phase_end(phase)
 
     # ------------------------------------------------------------------
@@ -397,6 +424,19 @@ class BspEngine:
             payload_bytes_sent=sum(self._payload_bytes),
             updates_shipped=sum(self._updates_shipped),
         )
+        counters: Dict[str, int] = {}
+        for l in self.layers:
+            registries = [l.stats]
+            for attr in ("rt", "ep"):  # LCI runtime / MPI endpoint
+                sub = getattr(l, attr, None)
+                if sub is not None:
+                    registries.append(sub.stats)
+            for reg in registries:
+                for name, value in reg.counter_values().items():
+                    counters[name] = counters.get(name, 0) + int(value)
+        m.layer_counters = counters
+        if self.injector is not None:
+            m.fault_counts = self.injector.counts()
         return m
 
     # ------------------------------------------------------------------

@@ -42,8 +42,12 @@ class RunMetrics:
     #: Total label updates shipped across all sync messages — Abelian's
     #: "only the updated labels" volume optimization is visible here.
     updates_shipped: int = 0
-    #: Free-form layer counters aggregated across hosts.
+    #: Free-form layer counters aggregated across hosts (includes the
+    #: recovery-protocol counters: retransmissions, acks, dup drops).
     layer_counters: Dict[str, int] = field(default_factory=dict)
+    #: Faults injected during the run (empty when no plan was installed):
+    #: drops, duplicates, reorders, stalls, dilations.
+    fault_counts: Dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property

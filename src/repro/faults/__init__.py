@@ -1,0 +1,40 @@
+"""Deterministic fault injection and resilience measurement.
+
+Public surface:
+
+* :class:`FaultSpec` / :class:`FaultPlan` — declarative fault models
+  (:mod:`repro.faults.plan`), plus the :data:`NAMED_PLANS` registry and
+  :func:`get_plan` resolver;
+* :class:`FaultInjector` — evaluates a plan against the live fabric
+  (:mod:`repro.faults.injector`); installed via
+  ``EngineConfig.fault_plan``;
+* :class:`LostCompletionError` — the simulated hang of a layer whose
+  transport assumptions a fault violated;
+* :mod:`repro.faults.harness` — the chaos harness behind ``repro chaos``
+  (imported lazily by its consumers: it pulls in the benchmark stack,
+  which itself imports the engine, which imports this package).
+"""
+
+from repro.faults.injector import FaultEvent, FaultInjector, TransitFate
+from repro.faults.plan import (
+    NAMED_PLANS,
+    PACKET_FAULT_KINDS,
+    WINDOW_FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    LostCompletionError,
+    get_plan,
+)
+
+__all__ = [
+    "FaultSpec",
+    "FaultPlan",
+    "FaultEvent",
+    "FaultInjector",
+    "TransitFate",
+    "LostCompletionError",
+    "NAMED_PLANS",
+    "PACKET_FAULT_KINDS",
+    "WINDOW_FAULT_KINDS",
+    "get_plan",
+]

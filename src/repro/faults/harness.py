@@ -1,0 +1,182 @@
+"""The chaos harness: run a scenario under a fault plan, judge the result.
+
+For each (scenario, plan) pair the harness runs the scenario twice on
+fresh simulated clusters — once fault-free, once with the plan installed
+— and reports one of four outcomes:
+
+* ``recovered`` — the run finished and produced exactly the fault-free
+  answer (LCI under packet faults: the ack/retransmit protocol absorbs
+  them, at a measurable overhead);
+* ``degraded``  — the run finished but the answer differs (should not
+  happen for any current layer; it would indicate silent corruption);
+* ``hung``      — a lost completion deadlocked the layer
+  (:class:`LostCompletionError`; MPI under drops);
+* ``crashed``   — the layer raised a simulated fatal error
+  (:class:`MPIProtocolError` on duplicated rendezvous data,
+  :class:`MPIResourceExhausted`, or a dead-link
+  :class:`SimulationError`).
+
+This module imports the benchmark stack, which imports the engine, which
+imports :mod:`repro.faults` — so nothing here may be imported from the
+package ``__init__``; the CLI and tests import it lazily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.bench.scenarios import Scenario, build_engine
+from repro.faults.plan import LostCompletionError, get_plan
+from repro.mpi.exceptions import MPIError
+from repro.sim.engine import SimulationError
+
+__all__ = ["ChaosReport", "run_chaos", "format_chaos_report"]
+
+#: Recovery-protocol counters surfaced in the report.
+RECOVERY_COUNTERS = (
+    "rel_sends",
+    "retransmissions",
+    "acks",
+    "dup_pkts_dropped",
+    "dup_acks",
+    "retransmit_tx_full",
+    "ack_tx_full",
+)
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one scenario under one fault plan."""
+
+    scenario: str
+    layer: str
+    plan: str
+    outcome: str                     # recovered | degraded | hung | crashed
+    error: str = ""
+    baseline_seconds: float = 0.0
+    faulted_seconds: float = 0.0
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+    recovery: Dict[str, int] = field(default_factory=dict)
+    rounds: int = 0
+
+    @property
+    def correct(self) -> bool:
+        return self.outcome == "recovered"
+
+    @property
+    def overhead(self) -> float:
+        """Recovery overhead: extra simulated time over the fault-free
+        run, as a fraction (0.08 = 8% slower).  0 for hung/crashed."""
+        if self.outcome in ("hung", "crashed") or self.baseline_seconds <= 0:
+            return 0.0
+        return self.faulted_seconds / self.baseline_seconds - 1.0
+
+    def row(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "plan": self.plan,
+            "outcome": self.outcome,
+            "time_base": f"{self.baseline_seconds * 1e3:.3f}ms",
+            "time_fault": (
+                f"{self.faulted_seconds * 1e3:.3f}ms"
+                if self.outcome in ("recovered", "degraded") else "-"
+            ),
+            "overhead": (
+                f"{self.overhead * 100:+.1f}%"
+                if self.outcome in ("recovered", "degraded") else "-"
+            ),
+            "faults": sum(self.fault_counts.values()),
+            "retransmits": self.recovery.get("retransmissions", 0),
+        }
+
+
+def run_chaos(
+    sc: Scenario,
+    plan,
+    fault_seed: Optional[int] = None,
+    tracer=None,
+) -> ChaosReport:
+    """Run ``sc`` fault-free and under ``plan``; compare and report.
+
+    ``plan`` may be a :class:`FaultPlan` or the name of one.  The
+    baseline uses a fresh cluster with identical seeds, so any output
+    difference is attributable to the faults.
+    """
+    plan = get_plan(plan, fault_seed)
+
+    base_engine = build_engine(sc)
+    base_metrics = base_engine.run()
+    base_answer = base_engine.assemble_global()
+
+    report = ChaosReport(
+        scenario=sc.label(),
+        layer=sc.layer,
+        plan=plan.name or plan.describe(),
+        outcome="recovered",
+        baseline_seconds=base_metrics.total_seconds,
+    )
+    if plan.empty:
+        report.faulted_seconds = base_metrics.total_seconds
+        report.rounds = base_metrics.rounds
+        return report
+
+    engine = build_engine(sc, fault_plan=plan, tracer=tracer)
+    try:
+        metrics = engine.run()
+    except LostCompletionError as exc:
+        report.outcome = "hung"
+        report.error = str(exc)
+    except (MPIError, SimulationError) as exc:
+        report.outcome = "crashed"
+        report.error = f"{type(exc).__name__}: {exc}"
+    else:
+        report.faulted_seconds = metrics.total_seconds
+        report.rounds = metrics.rounds
+        answer = engine.assemble_global()
+        same = (
+            np.allclose(answer, base_answer, rtol=1e-9, atol=0)
+            if np.issubdtype(answer.dtype, np.floating)
+            else np.array_equal(answer, base_answer)
+        )
+        if not same:
+            report.outcome = "degraded"
+            report.error = "answer differs from fault-free run"
+        report.recovery = {
+            k: metrics.layer_counters.get(k, 0)
+            for k in RECOVERY_COUNTERS
+            if metrics.layer_counters.get(k, 0)
+        }
+    if engine.injector is not None:
+        report.fault_counts = engine.injector.counts()
+    return report
+
+
+def format_chaos_report(report: ChaosReport) -> str:
+    """Human-readable multi-line summary for the CLI."""
+    lines = [
+        f"scenario : {report.scenario}",
+        f"plan     : {report.plan}",
+        f"outcome  : {report.outcome}"
+        + (f" ({report.error})" if report.error else ""),
+        f"baseline : {report.baseline_seconds * 1e3:.3f} ms",
+    ]
+    if report.outcome in ("recovered", "degraded"):
+        lines.append(
+            f"faulted  : {report.faulted_seconds * 1e3:.3f} ms "
+            f"({report.overhead * 100:+.1f}% recovery overhead, "
+            f"{report.rounds} rounds)"
+        )
+    if report.fault_counts:
+        pairs = ", ".join(
+            f"{k}={v}" for k, v in sorted(report.fault_counts.items())
+        )
+        lines.append(f"injected : {pairs}")
+    if report.recovery:
+        pairs = ", ".join(
+            f"{k}={v}" for k, v in sorted(report.recovery.items())
+        )
+        lines.append(f"recovery : {pairs}")
+    return "\n".join(lines)

@@ -1,0 +1,253 @@
+"""Fault plans: declarative, seedable descriptions of network adversity.
+
+A :class:`FaultPlan` is a tuple of :class:`FaultSpec` entries plus a seed.
+Installing a plan on a simulated cluster (``EngineConfig.fault_plan``)
+activates the injection hooks in :mod:`repro.netapi.nic` and
+:mod:`repro.sim.engine`; without a plan those hooks are no-ops and the
+happy path is untouched.
+
+Fault kinds
+-----------
+
+Per-packet (probabilistic; drawn from a named :class:`repro.sim.rng`
+stream so identical seeds replay identical fault traces):
+
+* ``drop``       — the packet vanishes in transit.  The sender's NIC saw
+  it depart; nothing arrives.  LCI's ack/retransmit protocol recovers;
+  the MPI layers hang on the lost completion (Section III-B's failure
+  mode, surfaced as :class:`LostCompletionError`).
+* ``duplicate``  — a second copy of the packet is delivered ``delay``
+  seconds after the first.  LCI dedupes by sequence number; MPI grows
+  its unexpected queue or double-completes a request
+  (``MPIProtocolError``).
+* ``reorder``    — the packet is delayed by a uniform draw in
+  ``[0, delay]``, breaking the fabric's per-pair FIFO.
+
+Windowed (deterministic intervals, no draws):
+
+* ``degrade``    — within the window, packets leaving host ``host`` (or
+  any host when ``None``) see latency multiplied by ``factor`` and
+  bandwidth multiplied by ``bandwidth_factor``.
+* ``nic_stall``  — within the window, ``try_inject`` on host ``host``
+  fails as if the TX queue were full (the retryable condition the paper
+  says LCI surfaces and MPI hides).
+* ``straggler``  — within the window, CPU work charged by host ``host``
+  runs ``factor``× slower (compute, gather, and scatter phases).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "PACKET_FAULT_KINDS",
+    "WINDOW_FAULT_KINDS",
+    "FaultSpec",
+    "FaultPlan",
+    "LostCompletionError",
+    "NAMED_PLANS",
+    "get_plan",
+]
+
+PACKET_FAULT_KINDS = ("drop", "duplicate", "reorder")
+WINDOW_FAULT_KINDS = ("degrade", "nic_stall", "straggler")
+
+
+class LostCompletionError(RuntimeError):
+    """A run hung because a completion was lost to an injected fault.
+
+    Raised by the engine when a host process never finishes under fault
+    injection: the layer's transport assumed reliable delivery (the MPI
+    layers do) and a dropped packet left it waiting forever.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One schedulable fault.  See the module docstring for the kinds."""
+
+    kind: str
+    #: Per-packet probability for drop/duplicate/reorder.
+    rate: float = 0.0
+    #: Window start (simulated seconds).  Per-packet faults also honour
+    #: the window: draws happen only inside it.
+    start: float = 0.0
+    #: Window length; ``inf`` means "for the rest of the run".
+    duration: float = math.inf
+    #: Restrict per-packet faults to this sending host (``None`` = any).
+    src: Optional[int] = None
+    #: Restrict per-packet faults to this destination host.
+    dst: Optional[int] = None
+    #: Target host for degrade/nic_stall/straggler (``None`` = all hosts).
+    host: Optional[int] = None
+    #: degrade: latency multiplier; straggler: CPU slowdown factor.
+    factor: float = 1.0
+    #: degrade: multiplier on link bandwidth (0.5 = half the bandwidth).
+    bandwidth_factor: float = 1.0
+    #: duplicate: gap between the copies; reorder: max extra delay.
+    delay: float = 0.0
+    #: Restrict per-packet faults to these packet-type names
+    #: (e.g. ``("EGR", "RDMA")``); ``None`` = every type.
+    ptypes: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self):
+        if self.kind not in PACKET_FAULT_KINDS + WINDOW_FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; pick from "
+                f"{PACKET_FAULT_KINDS + WINDOW_FAULT_KINDS}"
+            )
+        if self.kind in PACKET_FAULT_KINDS and not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"{self.kind} rate must be in [0, 1]: {self.rate}")
+        if self.kind == "reorder" and self.delay <= 0:
+            raise ValueError("reorder needs a positive max delay")
+        if self.kind in ("degrade", "straggler") and self.factor < 1.0:
+            raise ValueError(f"{self.kind} factor must be >= 1: {self.factor}")
+        if self.kind == "degrade" and not 0.0 < self.bandwidth_factor <= 1.0:
+            raise ValueError(
+                f"degrade bandwidth_factor must be in (0, 1]: "
+                f"{self.bandwidth_factor}"
+            )
+        if self.kind == "nic_stall" and math.isinf(self.duration):
+            raise ValueError(
+                "nic_stall windows must be finite (an unbounded stall "
+                "livelocks every sender)"
+            )
+        if self.duration < 0 or self.start < 0:
+            raise ValueError("fault windows must have start, duration >= 0")
+
+    # ------------------------------------------------------------------
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def in_window(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+    def matches_packet(self, pkt, now: float) -> bool:
+        """Does this per-packet spec apply to ``pkt`` right now?"""
+        if not self.in_window(now):
+            return False
+        if self.src is not None and pkt.src != self.src:
+            return False
+        if self.dst is not None and pkt.dst != self.dst:
+            return False
+        if self.ptypes is not None and pkt.ptype.name not in self.ptypes:
+            return False
+        return True
+
+    def matches_host(self, host: int) -> bool:
+        return self.host is None or self.host == host
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seedable set of fault specs."""
+
+    specs: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+    name: str = ""
+
+    def __post_init__(self):
+        # Accept lists for convenience; store a hashable tuple.
+        if not isinstance(self.specs, tuple):
+            object.__setattr__(self, "specs", tuple(self.specs))
+
+    @property
+    def empty(self) -> bool:
+        return not self.specs
+
+    @property
+    def needs_reliability(self) -> bool:
+        """True when packets can be lost/duplicated/reordered, i.e. when
+        the LCI runtime must run its ack/retransmit protocol."""
+        return any(s.kind in PACKET_FAULT_KINDS for s in self.specs)
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        return replace(self, seed=seed)
+
+    def describe(self) -> str:
+        parts = []
+        for s in self.specs:
+            if s.kind in PACKET_FAULT_KINDS:
+                parts.append(f"{s.kind}@{s.rate:.1%}")
+            else:
+                tgt = "all" if s.host is None else f"h{s.host}"
+                parts.append(f"{s.kind}[{tgt}]x{s.factor:g}")
+        return " + ".join(parts) if parts else "(no faults)"
+
+
+# ----------------------------------------------------------------------
+# Named plans, for the chaos CLI and the bench/scenarios knob
+# ----------------------------------------------------------------------
+US = 1e-6
+
+NAMED_PLANS: Dict[str, FaultPlan] = {
+    "none": FaultPlan(name="none"),
+    "drop-1pct": FaultPlan(
+        name="drop-1pct", specs=(FaultSpec("drop", rate=0.01),)
+    ),
+    "drop-5pct": FaultPlan(
+        name="drop-5pct", specs=(FaultSpec("drop", rate=0.05),)
+    ),
+    "dup-2pct": FaultPlan(
+        name="dup-2pct",
+        specs=(FaultSpec("duplicate", rate=0.02, delay=5 * US),),
+    ),
+    "reorder-heavy": FaultPlan(
+        name="reorder-heavy",
+        specs=(FaultSpec("reorder", rate=0.3, delay=20 * US),),
+    ),
+    "flaky-link": FaultPlan(
+        name="flaky-link",
+        specs=(
+            FaultSpec("drop", rate=0.02),
+            FaultSpec("duplicate", rate=0.01, delay=5 * US),
+            FaultSpec("reorder", rate=0.1, delay=10 * US),
+        ),
+    ),
+    "degraded-link": FaultPlan(
+        name="degraded-link",
+        specs=(FaultSpec("degrade", factor=4.0, bandwidth_factor=0.25),),
+    ),
+    "nic-stall": FaultPlan(
+        name="nic-stall",
+        specs=(
+            FaultSpec("nic_stall", host=0, start=50 * US, duration=200 * US),
+        ),
+    ),
+    "straggler": FaultPlan(
+        name="straggler",
+        specs=(FaultSpec("straggler", host=0, factor=8.0),),
+    ),
+    "chaos": FaultPlan(
+        name="chaos",
+        specs=(
+            FaultSpec("drop", rate=0.01),
+            FaultSpec("duplicate", rate=0.01, delay=5 * US),
+            FaultSpec("reorder", rate=0.05, delay=10 * US),
+            FaultSpec("degrade", factor=2.0, bandwidth_factor=0.5,
+                      start=100 * US, duration=400 * US),
+            FaultSpec("straggler", host=0, factor=4.0,
+                      start=200 * US, duration=300 * US),
+        ),
+    ),
+}
+
+
+def get_plan(name_or_plan, seed: Optional[int] = None) -> FaultPlan:
+    """Resolve a named plan (or pass a :class:`FaultPlan` through)."""
+    if isinstance(name_or_plan, FaultPlan):
+        plan = name_or_plan
+    else:
+        try:
+            plan = NAMED_PLANS[name_or_plan]
+        except KeyError:
+            raise ValueError(
+                f"unknown fault plan {name_or_plan!r}; pick from "
+                f"{sorted(NAMED_PLANS)}"
+            ) from None
+    if seed is not None:
+        plan = plan.with_seed(seed)
+    return plan

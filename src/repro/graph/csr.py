@@ -54,6 +54,7 @@ class CsrGraph:
             raise ValueError("edge_data must align with indices")
         self.name = name
         self._transpose: Optional["CsrGraph"] = None
+        self._frozen = False
 
     # ------------------------------------------------------------------
     @property
@@ -117,6 +118,30 @@ class CsrGraph:
         indptr = np.concatenate(([0], np.cumsum(counts)))
         return cls(indptr, dst, num_nodes, edge_data=edge_data, name=name)
 
+    def freeze(self) -> "CsrGraph":
+        """Make the underlying arrays read-only and return ``self``.
+
+        Frozen graphs can be shared safely (the scenario cache hands the
+        same instance to every run): any attempted in-place write raises
+        ``ValueError: assignment destination is read-only`` at the
+        offending site instead of silently corrupting later runs.
+        """
+        if self._frozen:
+            return self
+        self._frozen = True
+        self.indptr.setflags(write=False)
+        self.indices.setflags(write=False)
+        if self.edge_data is not None:
+            self.edge_data = np.asarray(self.edge_data)
+            self.edge_data.setflags(write=False)
+        if self._transpose is not None:
+            self._transpose.freeze()
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
     def transpose(self) -> "CsrGraph":
         """The reverse graph (cached); in-edges become out-edges."""
         if self._transpose is None:
@@ -129,6 +154,8 @@ class CsrGraph:
                 name=self.name + ".T",
             )
             self._transpose._transpose = self
+            if self._frozen:
+                self._transpose.freeze()
         return self._transpose
 
     def edges(self) -> Tuple[np.ndarray, np.ndarray]:

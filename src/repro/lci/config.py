@@ -40,6 +40,17 @@ class LciConfig:
     #: Network backend: "psm2", "ibverbs", or "libfabric" (the three the
     #: paper implemented LCI over; see :mod:`repro.lci.backends`).
     backend: str = "psm2"
+    #: Base retransmission timeout of the ack/retransmit recovery
+    #: protocol (armed only when a fault plan can lose packets).  The
+    #: effective per-packet RTO adds twice the packet's wire time so big
+    #: rendezvous payloads are not spuriously retransmitted.
+    rto: float = 20e-6
+    #: Multiplier applied to a packet's RTO after each retransmission
+    #: (exponential backoff).
+    rto_backoff: float = 2.0
+    #: Retransmissions of one packet before the runtime gives up and
+    #: declares the link dead (a hard simulation error).
+    rto_max_retries: int = 30
 
     def pool_size(self, num_hosts: int) -> int:
         return max(self.pool_packets_min, self.pool_packets_per_host * num_hosts)

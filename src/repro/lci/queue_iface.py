@@ -72,6 +72,15 @@ class LciQueue:
         self.queue = MpmcQueue(
             env, cpu, stats=StatRegistry(f"lci.rank{rank}.q")
         )
+        # Recovery protocol: armed only when an installed fault plan can
+        # lose/duplicate/reorder packets; otherwise sends go straight to
+        # the NIC and no protocol state exists.
+        self.reliability = None
+        faults = getattr(nic.fabric, "faults", None)
+        if faults is not None and faults.plan.needs_reliability:
+            from repro.lci.reliability import ReliableLink
+
+            self.reliability = ReliableLink(env, nic, self.config, self.stats)
 
     # ------------------------------------------------------------------
     # Algorithm 1: SEND-ENQ
@@ -132,6 +141,8 @@ class LciQueue:
         :meth:`charge_send_overhead`; splitting it out keeps _lc_send
         callable from non-generator callbacks (the server's RTR handler).
         """
+        if self.reliability is not None:
+            return self.reliability.send(pkt, on_local_complete)
         return self.nic.try_inject(pkt, on_local_complete=on_local_complete)
 
     def charge_send_overhead(self):

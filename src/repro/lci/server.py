@@ -96,6 +96,8 @@ class LciRuntime(LciQueue):
     def stop_server(self) -> None:
         """Ask the server loop to exit at its next idle point."""
         self._stopping = True
+        if self.reliability is not None:
+            self.reliability.close()
         if self._server_proc is not None and self._server_proc.is_alive:
             self._server_proc.interrupt("stop")
 
@@ -117,6 +119,10 @@ class LciRuntime(LciQueue):
                     self.nic.model.recv_overhead
                     + self.backend.progress_extra
                 )
+                if self.reliability is not None:
+                    pkt = self.reliability.on_receive(pkt)
+                    if pkt is None:
+                        continue  # an ACK or a duplicate: consumed
                 yield from self._handle(pkt)
         except Interrupt:
             return
@@ -168,7 +174,7 @@ class LciRuntime(LciQueue):
             put_cost += self.backend.first_put_setup
             self._put_ready.add(pkt.src)
         yield self.env.timeout(put_cost)
-        while not self.nic.try_inject(rdma, on_local_complete=_acked):
+        while not self._lc_send(rdma, on_local_complete=_acked):
             self.stats.counter("rdma_tx_retries").add()
             yield self.env.timeout(4 * self.nic.model.injection_gap)
         self.stats.counter("rdma_puts").add()

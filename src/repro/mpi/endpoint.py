@@ -28,7 +28,11 @@ from collections import deque
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.mpi.config import MpiConfig, ThreadMode
-from repro.mpi.exceptions import MPIResourceExhausted, MPIUsageError
+from repro.mpi.exceptions import (
+    MPIProtocolError,
+    MPIResourceExhausted,
+    MPIUsageError,
+)
 from repro.mpi.matching import (
     PostedQueue,
     PostedReceive,
@@ -456,6 +460,16 @@ class MpiEndpoint:
 
     def _arrival_rdma(self, pkt: Packet):
         recv_req: MpiRequest = pkt.meta["recv_req"]
+        if recv_req.done:
+            # MPI assumes a reliable transport: a duplicated rendezvous
+            # payload double-completes the request.  No recovery protocol
+            # exists at this layer — surface the internal error (only
+            # reachable under fault injection).
+            raise MPIProtocolError(
+                f"rank {self.rank}: rendezvous payload for completed "
+                f"request {recv_req.uid} (duplicate delivery — MPI "
+                f"assumes reliable transport)"
+            )
         yield from self._charge(0)  # data landed by RDMA; no copy here
         recv_req._complete(
             pkt.payload, MpiStatus(pkt.src, pkt.tag, pkt.size)

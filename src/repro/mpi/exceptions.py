@@ -9,7 +9,12 @@ with ``crash_on_exhaustion=True`` and the eager-buffer pool runs dry.
 
 from __future__ import annotations
 
-__all__ = ["MPIError", "MPIResourceExhausted", "MPIUsageError"]
+__all__ = [
+    "MPIError",
+    "MPIResourceExhausted",
+    "MPIUsageError",
+    "MPIProtocolError",
+]
 
 
 class MPIError(RuntimeError):
@@ -27,3 +32,13 @@ class MPIResourceExhausted(MPIError):
 
 class MPIUsageError(MPIError):
     """Caller violated MPI semantics (wrong thread mode, bad rank, ...)."""
+
+
+class MPIProtocolError(MPIError):
+    """The transport violated the reliability MPI assumes.
+
+    MPI offers no recovery protocol of its own — a duplicated rendezvous
+    payload double-completes a request, which a real implementation
+    surfaces (at best) as a fatal internal error.  Raised only under
+    fault injection; fault-free runs can never reach it.
+    """

@@ -111,6 +111,12 @@ class Nic:
             raise SimulationError(
                 f"packet src {pkt.src} injected from host {self.host}"
             )
+        faults = self.fabric.faults
+        if faults is not None and faults.tx_blocked(self.host, pkt):
+            # An injected NIC stall looks exactly like a full TX queue:
+            # the retryable condition the comm layers already handle.
+            self.stats.counter("tx_queue_full").add()
+            return False
         if self._tx_outstanding >= self.model.tx_queue_depth:
             self.stats.counter("tx_queue_full").add()
             return False
@@ -119,12 +125,14 @@ class Nic:
         wire_bytes = pkt.wire_bytes
         ser = self.model.serialization_time(wire_bytes)
         gap = self.model.injection_gap
-        start = max(env.now, self._tx_free_at)
-        self._tx_free_at = start + max(ser, gap)
-        departure = start + ser
         latency = self.model.latency
         if pkt.ptype is PacketType.RDMA:
             latency += self.model.rdma_extra_latency
+        if faults is not None:
+            ser, latency = faults.link_adjust(pkt, ser, latency)
+        start = max(env.now, self._tx_free_at)
+        self._tx_free_at = start + max(ser, gap)
+        departure = start + ser
         arrival = departure + latency
 
         self._tx_outstanding += 1
@@ -139,6 +147,12 @@ class Nic:
         env.schedule_callback(departure - env.now, _departed)
 
         dst_nic = self.fabric.nic(pkt.dst)
+        fate = faults.transit_fate(pkt) if faults is not None else None
+        if fate is not None and fate.dropped:
+            # Vanished in transit: the sender saw a clean departure, the
+            # receiver sees nothing.  For RDMA the hardware completion is
+            # lost with the packet — the classic lost-completion fault.
+            return True
 
         def _arrived() -> None:
             if pkt.ptype is PacketType.RDMA:
@@ -149,7 +163,16 @@ class Nic:
             if notify_target:
                 dst_nic.deliver(pkt)
 
-        env.schedule_callback(arrival - env.now, _arrived)
+        reorder = fate.delay if fate is not None else 0.0
+        env.schedule_callback(arrival + reorder - env.now, _arrived)
+        if fate is not None and fate.duplicated and notify_target:
+            # A second copy of the wire packet reaches the receive queue;
+            # whether that is deduplicated or double-processed is up to
+            # the communication layer (LCI dedupes, MPI diverges).
+            env.schedule_callback(
+                arrival + reorder + fate.dup_delay - env.now,
+                lambda: dst_nic.deliver(pkt),
+            )
         return True
 
     def _complete_rdma(self, pkt: Packet, dst_nic: "Nic") -> None:
@@ -232,6 +255,9 @@ class Fabric:
         self.num_hosts = num_hosts
         self.machine = machine
         self.stats = StatRegistry(stats_prefix)
+        #: Optional :class:`repro.faults.FaultInjector`; ``None`` keeps
+        #: every injection hook a no-op.
+        self.faults = None
         self._nics = [
             Nic(env, self, h, machine.nic, StatRegistry(f"{stats_prefix}.nic{h}"))
             for h in range(num_hosts)

@@ -42,6 +42,9 @@ class PacketType(enum.Enum):
     RTS = "RTS"
     RTR = "RTR"
     RDMA = "RDMA"
+    #: Delivery acknowledgement of LCI's ack/retransmit recovery
+    #: protocol (only on the wire when a fault plan is installed).
+    ACK = "ACK"
 
     def __repr__(self) -> str:
         return f"PacketType.{self.name}"
@@ -75,7 +78,7 @@ class Packet:
     @property
     def wire_bytes(self) -> int:
         """Bytes the fabric serializes for this packet."""
-        if self.ptype in (PacketType.RTS, PacketType.RTR):
+        if self.ptype in (PacketType.RTS, PacketType.RTR, PacketType.ACK):
             return CONTROL_PACKET_BYTES
         return self.size + PACKET_HEADER_BYTES
 

@@ -314,6 +314,10 @@ class Environment:
         self._heap: List[tuple] = []
         self._seq = 0
         self._active_gen: Optional[Generator] = None
+        #: Optional :class:`repro.faults.FaultInjector`.  When installed,
+        #: :meth:`charged_timeout` dilates CPU-work delays through its
+        #: straggler model; ``None`` keeps the hook a no-op.
+        self.faults = None
 
     @property
     def now(self) -> float:
@@ -326,6 +330,17 @@ class Environment:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
+
+    def charged_timeout(self, delay: float, actor: Optional[int] = None) -> Timeout:
+        """A timeout representing ``delay`` seconds of CPU *work* by host
+        ``actor``.  Plain :meth:`timeout` models elapsed time; this hook
+        lets an installed fault injector stretch the work when the actor
+        is inside a straggler window.  Without an injector it is exactly
+        ``timeout(delay)``.
+        """
+        if self.faults is not None:
+            delay = self.faults.dilate(actor, delay, self._now)
+        return Timeout(self, delay)
 
     def process(self, gen: Generator, name: str = "") -> Process:
         return Process(self, gen, name=name)

@@ -170,6 +170,10 @@ class StatRegistry:
         c = self._counters.get(name)
         return c.value if c is not None else default
 
+    def counter_values(self) -> Dict[str, int]:
+        """All counters as ``{unqualified name: value}``."""
+        return {name: c.value for name, c in self._counters.items()}
+
     def peak_value(self, name: str, default: int = 0) -> int:
         p = self._peaks.get(name)
         return p.peak if p is not None else default

@@ -95,13 +95,30 @@ class Tracer:
             return
         self._spans.append(Span(host, actor, category, name, start, end, args))
 
-    def instant(self, host: int, name: str, time: float, **args) -> None:
-        """A zero-duration marker (e.g. 'round 7 barrier')."""
+    def instant(
+        self, host: int, name: str, time: float,
+        category: str = "events", **args,
+    ) -> None:
+        """A zero-duration marker (e.g. 'round 7 barrier', 'drop EGR->3').
+
+        ``category`` groups instants into their own thread row per host in
+        the Chrome export (fault injections use ``"fault"``).
+        """
         if not self.enabled:
             return
         self._instants.append(
-            {"host": host, "name": name, "time": time, "args": args}
+            {"host": host, "name": name, "time": time,
+             "category": category, "args": args}
         )
+
+    @property
+    def instants(self) -> List[Dict]:
+        return list(self._instants)
+
+    def instants_for(self, category: Optional[str] = None) -> List[Dict]:
+        if category is None:
+            return list(self._instants)
+        return [i for i in self._instants if i["category"] == category]
 
     # ------------------------------------------------------------------
     @property
@@ -139,7 +156,8 @@ class Tracer:
             events.append({
                 "ph": "i",
                 "pid": i["host"],
-                "tid": "events",
+                "tid": i.get("category", "events"),
+                "cat": i.get("category", "events"),
                 "name": i["name"],
                 "ts": i["time"] * 1e6,
                 "s": "p",

@@ -80,6 +80,103 @@ def test_lci_surfaces_retries_nonfatally():
     assert pressure > 0, "expected visible back pressure under duress"
 
 
+def _run_faulted(plan_name, seed=11):
+    """One LCI PageRank run under a fault plan; returns (trace, metrics)."""
+    from repro.faults import get_plan
+
+    g = rmat(7, edge_factor=8, seed=31)
+    app = PageRank(max_rounds=5, tol=1e-12)
+    cfg = EngineConfig(
+        num_hosts=4, layer="lci", fault_plan=get_plan(plan_name, seed),
+    )
+    eng = BspEngine(g, app, cfg)
+    m = eng.run()
+    return eng.injector.trace, m
+
+
+def test_fault_trace_determinism():
+    """Same scenario + same FaultPlan seed => byte-identical fault traces
+    and identical RunMetrics."""
+    trace1, m1 = _run_faulted("flaky-link", seed=11)
+    trace2, m2 = _run_faulted("flaky-link", seed=11)
+    assert trace1 == trace2
+    assert len(trace1) > 0, "plan injected nothing at this scale"
+    assert m1 == m2
+    # A different fault seed replays a different adversity schedule.
+    trace3, _ = _run_faulted("flaky-link", seed=12)
+    assert trace1 != trace3
+
+
+def test_lci_bfs_identical_answer_under_drops():
+    """Acceptance: nonzero drops, LCI answer == fault-free answer, with
+    retransmissions visible in the metrics."""
+    g = rmat(7, edge_factor=8, seed=31)
+    app = Bfs(source=0)
+    clean = BspEngine(g, app, EngineConfig(num_hosts=4, layer="lci"))
+    clean.run()
+    want = clean.assemble_global()
+
+    eng = BspEngine(g, app, EngineConfig(
+        num_hosts=4, layer="lci", fault_plan="drop-5pct"))
+    m = eng.run()
+    assert np.array_equal(eng.assemble_global(), want)
+    assert m.fault_counts["drops"] > 0
+    assert m.layer_counters["retransmissions"] > 0
+    # ... and in the runtime's own StatRegistry.
+    retrans = sum(
+        l.rt.stats.counter_value("retransmissions") for l in eng.layers
+    )
+    assert retrans == m.layer_counters["retransmissions"]
+
+
+def test_lci_pagerank_identical_answer_under_drops():
+    g = rmat(7, edge_factor=8, seed=31)
+    app = PageRank(max_rounds=5, tol=1e-12)
+    clean = BspEngine(g, app, EngineConfig(num_hosts=4, layer="lci"))
+    clean.run()
+    want = clean.assemble_global()
+
+    eng = BspEngine(g, app, EngineConfig(
+        num_hosts=4, layer="lci", fault_plan="drop-5pct"))
+    m = eng.run()
+    np.testing.assert_allclose(eng.assemble_global(), want, rtol=1e-12)
+    assert m.fault_counts["drops"] > 0
+
+
+def test_faults_compose_with_squeezed_hardware():
+    """Injected faults stack on top of genuine hardware duress."""
+    g = rmat(7, edge_factor=8, seed=31)
+    app = Bfs(source=0)
+    clean = BspEngine(g, app, EngineConfig(num_hosts=4, layer="lci"))
+    clean.run()
+    want = clean.assemble_global()
+    eng = BspEngine(g, app, EngineConfig(
+        num_hosts=4, layer="lci", machine=squeezed_machine(tx_depth=4),
+        fault_plan="flaky-link",
+    ))
+    eng.run()
+    assert np.array_equal(eng.assemble_global(), want)
+
+
+def test_cached_graph_is_frozen():
+    """Scenario runs share one graph instance; it must be immutable."""
+    from repro.bench.scenarios import cached_graph
+
+    g = cached_graph("rmat", 7, 31, False)
+    assert g.frozen
+    assert g is cached_graph("rmat", 7, 31, False)
+    with pytest.raises(ValueError):
+        g.indices[0] = 0
+    with pytest.raises(ValueError):
+        g.indptr[0] = 1
+    # The cached transpose view is frozen too.
+    with pytest.raises(ValueError):
+        g.transpose().indices[0] = 0
+    gw = cached_graph("rmat", 7, 31, True)
+    with pytest.raises(ValueError):
+        gw.edge_data[0] = 0.0
+
+
 def test_slow_injection_rate_still_correct():
     g = rmat(7, edge_factor=8, seed=5)
     app = Bfs(source=0)
