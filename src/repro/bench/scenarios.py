@@ -63,6 +63,9 @@ class Scenario:
     fault_plan: Optional[str] = None
     #: Seed of the fault plan's draw streams (defaults to the plan's own).
     fault_seed: Optional[int] = None
+    #: Protocol sanitizers: "warn" | "raise" | "off" | None (consult
+    #: the ``REPRO_SANITIZE`` environment variable at engine build).
+    sanitize: Optional[str] = None
 
     def label(self) -> str:
         base = (
@@ -143,5 +146,6 @@ def build_engine(
         work_scale=sc.work_scale,
         tracer=tracer,
         fault_plan=fault_plan,
+        sanitize=sc.sanitize,
     )
     return BspEngine(graph, app, cfg)

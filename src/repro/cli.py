@@ -9,8 +9,13 @@
     python -m repro micro [--sizes 8 512 65536] [--threads 1 8 64]
     python -m repro inputs --scale 14
     python -m repro calibrate
+    python -m repro lint [--json report.json] [paths...]
 
 Each subcommand prints the same tables the benchmark harness produces.
+
+Exit codes: 0 success; 1 generic failure / lint findings; 2 usage
+errors; 3 (:data:`repro.sanitize.SANITIZER_EXIT_CODE`) when a run
+finished but warn-mode protocol sanitizers recorded violations.
 """
 
 from __future__ import annotations
@@ -23,6 +28,11 @@ from repro.bench.micro import MICRO_INTERFACES, message_rate, pingpong_latency
 from repro.bench.report import format_seconds, format_table
 from repro.bench.scenarios import Scenario, build_engine, run_scenario
 from repro.comm.layer_base import LAYER_NAMES
+from repro.sanitize.runtime import (
+    SANITIZER_EXIT_CODE,
+    SanitizerError,
+    format_violations,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -52,6 +62,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=1)
     run.add_argument("--trace", metavar="PATH",
                      help="write a chrome://tracing timeline JSON")
+    run.add_argument("--sanitize", nargs="?", const="warn",
+                     choices=["warn", "raise"], default=None,
+                     help="arm the protocol sanitizers (default mode: "
+                          "warn; exits %d on violations)"
+                          % SANITIZER_EXIT_CODE)
 
     chaos = sub.add_parser(
         "chaos", help="run one scenario under a named fault plan"
@@ -77,6 +92,10 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--trace", metavar="PATH",
                        help="write a chrome://tracing timeline JSON with "
                             "fault instants")
+    chaos.add_argument("--sanitize", nargs="?", const="warn",
+                       choices=["warn", "raise"], default=None,
+                       help="arm the protocol sanitizers for both the "
+                            "baseline and the faulted run")
 
     sweep = sub.add_parser("sweep", help="host-count sweep across layers")
     sweep.add_argument("--app", default="pagerank",
@@ -99,6 +118,15 @@ def build_parser() -> argparse.ArgumentParser:
     inputs.add_argument("--scale", type=int, default=14)
 
     sub.add_parser("calibrate", help="model-calibration report")
+
+    lint = sub.add_parser(
+        "lint", help="static determinism lint over the simulation sources"
+    )
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files/directories to lint (default: the "
+                           "installed repro package)")
+    lint.add_argument("--json", metavar="PATH", dest="json_path",
+                      help="also write the machine-readable JSON report")
     return p
 
 
@@ -111,9 +139,13 @@ def _cmd_run(args) -> int:
         app=args.app, graph=args.graph, scale=args.scale, hosts=args.hosts,
         layer=args.layer, system=args.system, machine=args.machine,
         mpi_impl=args.mpi_impl, pagerank_rounds=args.pagerank_rounds,
-        seed=args.seed,
+        seed=args.seed, sanitize=args.sanitize,
     )
-    m = build_engine(sc, tracer=tracer).run()
+    try:
+        m = build_engine(sc, tracer=tracer).run()
+    except SanitizerError as exc:
+        print(f"sanitizer violation: {exc}", file=sys.stderr)
+        return SANITIZER_EXIT_CODE
     if tracer is not None:
         tracer.save(args.trace)
         print(f"trace written to {args.trace}")
@@ -121,6 +153,9 @@ def _cmd_run(args) -> int:
     print(f"\ntotal {format_seconds(m.total_seconds)} = compute "
           f"{format_seconds(m.compute_seconds)} + comm "
           f"{format_seconds(m.comm_seconds)} over {m.rounds} rounds")
+    if m.sanitizer_violations:
+        print(format_violations(m.sanitizer_violations), file=sys.stderr)
+        return SANITIZER_EXIT_CODE
     return 0
 
 
@@ -147,14 +182,22 @@ def _cmd_chaos(args) -> int:
     sc = Scenario(
         app=args.app, graph=args.graph, scale=args.scale, hosts=args.hosts,
         layer=args.layer, system=args.system, machine=args.machine,
-        seed=args.seed,
+        seed=args.seed, sanitize=args.sanitize,
     )
-    report = run_chaos(sc, plan, tracer=tracer)
+    try:
+        report = run_chaos(sc, plan, tracer=tracer)
+    except SanitizerError as exc:
+        print(f"sanitizer violation: {exc}", file=sys.stderr)
+        return SANITIZER_EXIT_CODE
     if tracer is not None:
         tracer.save(args.trace)
         print(f"trace written to {args.trace}")
     print(format_chaos_report(report))
-    return 0 if report.outcome == "recovered" else 1
+    if report.outcome != "recovered":
+        return 1
+    if report.sanitizer_violations:
+        return SANITIZER_EXIT_CODE
+    return 0
 
 
 def _cmd_sweep(args) -> int:
@@ -227,6 +270,23 @@ def _cmd_calibrate(_args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_lint(args) -> int:
+    from repro.sanitize.lint import (
+        format_findings,
+        lint_paths,
+        repo_package_root,
+        save_report,
+    )
+
+    paths = args.paths or [repo_package_root()]
+    result = lint_paths(paths)
+    print(format_findings(result))
+    if args.json_path:
+        save_report(result, args.json_path)
+        print(f"json report written to {args.json_path}")
+    return 1 if result.findings else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -236,6 +296,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "micro": _cmd_micro,
         "inputs": _cmd_inputs,
         "calibrate": _cmd_calibrate,
+        "lint": _cmd_lint,
     }[args.command]
     return handler(args)
 

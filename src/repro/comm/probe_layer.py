@@ -294,3 +294,5 @@ class ProbeCommLayer(CommLayer):
         self._stopping = True
         if self._comm_proc.is_alive:
             self._comm_proc.interrupt("stop")
+        # MPI_Finalize audit (no-op unless sanitizers are armed).
+        self.ep.finalize_check()

@@ -228,3 +228,5 @@ class RmaCommLayer(CommLayer):
         self._stopping = True
         if self._progress_proc.is_alive:
             self._progress_proc.interrupt("stop")
+        # MPI_Finalize audit (no-op unless sanitizers are armed).
+        self.ep.finalize_check()

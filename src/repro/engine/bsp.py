@@ -39,6 +39,7 @@ from repro.graph.csr import CsrGraph
 from repro.graph.partition import make_partition
 from repro.graph.partition.proxies import Partition
 from repro.netapi.nic import Fabric
+from repro.sanitize.runtime import SanitizerContext, resolve_mode
 from repro.sim.engine import Environment
 from repro.sim.machine import MachineModel, stampede2
 
@@ -90,6 +91,13 @@ class EngineConfig:
     #: name of one (``repro.faults.NAMED_PLANS``), or ``None`` for a
     #: fault-free run (the default; no hooks are installed).
     fault_plan: Optional[object] = None
+    #: Protocol sanitizers: ``"warn"`` (accumulate, surface in metrics),
+    #: ``"raise"`` (structured SanitizerError at the violation point),
+    #: ``"off"`` (force-disable), or ``None`` to consult the
+    #: ``REPRO_SANITIZE`` environment variable — the only place the
+    #: environment is read, at engine construction, so the simulation
+    #: modules themselves stay environment-independent (lint rule D104).
+    sanitize: Optional[str] = None
 
 
 class BspEngine:
@@ -111,6 +119,16 @@ class BspEngine:
         )
         self.env = Environment()
         self.fabric = Fabric(self.env, config.num_hosts, config.machine)
+        # Sanitizers ride on the fabric (like the fault injector) so the
+        # protocol components can self-discover them; they must be
+        # installed before the layers are built.
+        self.sanitizer_ctx = None
+        _san_mode = resolve_mode(config.sanitize)
+        if _san_mode is not None:
+            self.sanitizer_ctx = SanitizerContext(
+                _san_mode, env=self.env, tracer=config.tracer
+            )
+            self.fabric.sanitizer = self.sanitizer_ctx
         # The injector must be installed before the layers are built so
         # LCI can arm its ack/retransmit recovery protocol.
         self.injector = None
@@ -437,6 +455,9 @@ class BspEngine:
         m.layer_counters = counters
         if self.injector is not None:
             m.fault_counts = self.injector.counts()
+        if self.sanitizer_ctx is not None:
+            m.sanitizer_mode = self.sanitizer_ctx.mode
+            m.sanitizer_violations = self.sanitizer_ctx.as_dicts()
         return m
 
     # ------------------------------------------------------------------

@@ -24,13 +24,14 @@ package ``__init__``; the CLI and tests import it lazily.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.bench.scenarios import Scenario, build_engine
 from repro.faults.plan import LostCompletionError, get_plan
 from repro.mpi.exceptions import MPIError
+from repro.sanitize.runtime import format_violations
 from repro.sim.engine import SimulationError
 
 __all__ = ["ChaosReport", "run_chaos", "format_chaos_report"]
@@ -61,6 +62,8 @@ class ChaosReport:
     fault_counts: Dict[str, int] = field(default_factory=dict)
     recovery: Dict[str, int] = field(default_factory=dict)
     rounds: int = 0
+    #: Warn-mode sanitizer violations from both runs (baseline first).
+    sanitizer_violations: List[Dict] = field(default_factory=list)
 
     @property
     def correct(self) -> bool:
@@ -110,6 +113,7 @@ def run_chaos(
     base_engine = build_engine(sc)
     base_metrics = base_engine.run()
     base_answer = base_engine.assemble_global()
+    sanitizer_violations: List[Dict] = list(base_metrics.sanitizer_violations)
 
     report = ChaosReport(
         scenario=sc.label(),
@@ -118,6 +122,7 @@ def run_chaos(
         outcome="recovered",
         baseline_seconds=base_metrics.total_seconds,
     )
+    report.sanitizer_violations = sanitizer_violations
     if plan.empty:
         report.faulted_seconds = base_metrics.total_seconds
         report.rounds = base_metrics.rounds
@@ -151,6 +156,10 @@ def run_chaos(
         }
     if engine.injector is not None:
         report.fault_counts = engine.injector.counts()
+    if engine.sanitizer_ctx is not None:
+        # The context (not the metrics) has the violations even when the
+        # faulted run hung or crashed before producing metrics.
+        sanitizer_violations.extend(engine.sanitizer_ctx.as_dicts())
     return report
 
 
@@ -179,4 +188,6 @@ def format_chaos_report(report: ChaosReport) -> str:
             f"{k}={v}" for k, v in sorted(report.recovery.items())
         )
         lines.append(f"recovery : {pairs}")
+    if report.sanitizer_violations:
+        lines.append(format_violations(report.sanitizer_violations))
     return "\n".join(lines)

@@ -68,7 +68,9 @@ class FaultInjector:
         self._packet_specs = []
         for i, spec in enumerate(plan.specs):
             if spec.kind in ("drop", "duplicate", "reorder"):
-                stream = rng.stream(f"faults.{spec.kind}.{i}")
+                stream = rng.register(
+                    f"faults.{spec.kind}.{i}", owner=f"fault spec #{i}"
+                )
                 self._packet_specs.append((spec, stream))
         self._stall_specs = [s for s in plan.specs if s.kind == "nic_stall"]
         self._degrade_specs = [s for s in plan.specs if s.kind == "degrade"]

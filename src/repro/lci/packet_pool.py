@@ -66,6 +66,10 @@ class PacketPool:
         #: thread-key -> private free count.
         self._local: Dict[object, int] = {}
         self._availability_waiters: List[Event] = []
+        #: Optional lifecycle checker (repro.sanitize.lci_checks.
+        #: LciSanitizer), attached by the owning queue when sanitizers
+        #: are armed.  Pure observation: never charges simulated time.
+        self.sanitizer = None
         # Memory accounting: the pool preallocates all its buffers once.
         self.stats.peak("pool_bytes").add(size * packet_data_bytes)
 
@@ -95,6 +99,8 @@ class PacketPool:
         if thread is not None and local > 0:
             self._local[thread] = local - 1
             self.stats.counter("alloc_local_hits").add()
+            if self.sanitizer is not None:
+                self.sanitizer.on_alloc()
             yield self.env.timeout(
                 self.cpu.atomic_op * self.local_hit_cost_factor
             )
@@ -104,6 +110,8 @@ class PacketPool:
         if self._free > floor:
             self._free -= 1
             self.stats.counter("alloc_global_hits").add()
+            if self.sanitizer is not None:
+                self.sanitizer.on_alloc()
             return True
         # Steal path: the shared pool is at its floor but other threads'
         # private caches may hold free packets; raid the fullest cache
@@ -118,6 +126,8 @@ class PacketPool:
             if victim is not None:
                 self._local[victim] -= 1
                 self.stats.counter("alloc_steals").add()
+                if self.sanitizer is not None:
+                    self.sanitizer.on_alloc()
                 yield self.env.timeout(self.cpu.atomic_op)
                 return True
         self.stats.counter("alloc_failures").add()
@@ -125,6 +135,8 @@ class PacketPool:
 
     def free(self, thread: object = None):
         """Generator: return a packet budget to the pool."""
+        if self.sanitizer is not None:
+            self.sanitizer.on_free(self)
         if thread is not None:
             local = self._local.get(thread, 0)
             if local < self.local_cache_packets:
@@ -143,6 +155,8 @@ class PacketPool:
     def free_nowait(self, thread: object = None) -> None:
         """Zero-cost variant for completion callbacks (cost was prepaid by
         the operation that armed the callback)."""
+        if self.sanitizer is not None:
+            self.sanitizer.on_free(self)
         if thread is not None:
             local = self._local.get(thread, 0)
             if local < self.local_cache_packets:
@@ -180,4 +194,24 @@ class PacketPool:
         """Build a packet descriptor drawing on an already-allocated budget."""
         pkt = Packet(ptype, src, dst, tag, size, payload=payload)
         pkt.pool = self
+        if self.sanitizer is not None:
+            self.sanitizer.on_packet_made(pkt)
         return pkt
+
+    # ------------------------------------------------------------------
+    # Sanitizer-visible packet lifecycle (no-ops when sanitizers are off)
+    # ------------------------------------------------------------------
+    def retire(self, pkt: Packet) -> None:
+        """Mark ``pkt``'s buffer as recycled (its budget is being freed).
+
+        Callers pair this with ``free``/``free_nowait`` at the point the
+        packet's contents stop being referenced; touching the packet
+        afterwards is a use-after-free the sanitizer reports.
+        """
+        if self.sanitizer is not None:
+            self.sanitizer.on_packet_retired(pkt)
+
+    def touch(self, pkt: Packet) -> None:
+        """Declare that ``pkt``'s buffer is being read or handled."""
+        if self.sanitizer is not None:
+            self.sanitizer.on_packet_use(pkt)

@@ -28,6 +28,7 @@ from repro.lci.packet_pool import PacketPool
 from repro.lci.request import LciRequest
 from repro.netapi.nic import Nic
 from repro.netapi.packet import Packet, PacketType
+from repro.sanitize.lci_checks import LciSanitizer
 from repro.sim.engine import Environment
 from repro.sim.machine import CpuModel
 from repro.sim.monitor import StatRegistry
@@ -81,6 +82,13 @@ class LciQueue:
             from repro.lci.reliability import ReliableLink
 
             self.reliability = ReliableLink(env, nic, self.config, self.stats)
+        # Lifecycle sanitizer, discovered like the fault injector.  The
+        # pool cannot see the fabric, so the queue hands it the checker.
+        self.sanitizer: Optional[LciSanitizer] = None
+        _ctx = getattr(nic.fabric, "sanitizer", None)
+        if _ctx is not None:
+            self.sanitizer = LciSanitizer(_ctx, rank)
+            self.pool.sanitizer = self.sanitizer
 
     # ------------------------------------------------------------------
     # Algorithm 1: SEND-ENQ
@@ -172,12 +180,14 @@ class LciQueue:
             pkt = yield from self.queue.dequeue()
         if pkt is None:
             return None
+        self.pool.touch(pkt)
         req = LciRequest("recv", pkt.src, pkt.tag, pkt.size)
         if pkt.ptype is PacketType.EGR:
             # Allocate a user buffer and copy out; free the pool packet.
             yield self.env.timeout(self.cpu.alloc_cost)
             yield self.env.timeout(self.cpu.memcpy_time(pkt.size))
             req._complete(pkt.payload)
+            self.pool.retire(pkt)
             yield from self.pool.free(thread)
             self.stats.counter("egr_recvs").add()
         elif pkt.ptype is PacketType.RTS:

@@ -100,6 +100,9 @@ class LciRuntime(LciQueue):
             self.reliability.close()
         if self._server_proc is not None and self._server_proc.is_alive:
             self._server_proc.interrupt("stop")
+        if self.sanitizer is not None:
+            # Shutdown audit: every budget home, completion queue drained.
+            self.sanitizer.check_shutdown(self.pool, self.queue)
 
     # ------------------------------------------------------------------
     # Algorithm 3: NETWORK-PROGRESS, run forever by the server
@@ -128,6 +131,9 @@ class LciRuntime(LciQueue):
             return
 
     def _handle(self, pkt: Packet):
+        # A recycled packet showing up here again (e.g. a duplicate
+        # delivery after the receive path freed it) is a use-after-free.
+        self.pool.touch(pkt)
         if pkt.ptype in (PacketType.EGR, PacketType.RTS):
             # Take a receive-buffer budget; stall (backpressure) if dry.
             # Receive allocs may use the reserve the send path cannot.
@@ -144,6 +150,7 @@ class LciRuntime(LciQueue):
             recv_req = pkt.meta["recv_req"]
             recv_req._complete(pkt.payload)
             # packetFree(P, p): the budget taken when the RTS arrived.
+            self.pool.retire(pkt)
             yield from self.pool.free()
             self.stats.counter("rdma_recvs").add()
         else:  # pragma: no cover - exhaustive over PacketType

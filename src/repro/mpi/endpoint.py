@@ -42,6 +42,7 @@ from repro.mpi.matching import (
 from repro.mpi.types import ANY_SOURCE, ANY_TAG, MpiRequest, MpiStatus
 from repro.netapi.nic import Nic
 from repro.netapi.packet import Packet, PacketType
+from repro.sanitize.mpi_checks import MpiSanitizer
 from repro.sim.engine import Environment, Event
 from repro.sim.machine import CpuModel
 from repro.sim.monitor import StatRegistry
@@ -96,6 +97,12 @@ class MpiEndpoint:
 
         # Per-source sink buffers for rendezvous RDMA (lazily registered).
         self._rndv_sinks: Dict[int, int] = {}
+
+        # Usage checker, discovered like the fault injector.
+        _ctx = getattr(nic.fabric, "sanitizer", None)
+        self.sanitizer: Optional[MpiSanitizer] = (
+            MpiSanitizer(_ctx, rank) if _ctx is not None else None
+        )
 
     # ------------------------------------------------------------------
     # Cost & locking helpers
@@ -188,6 +195,8 @@ class MpiEndpoint:
         try:
             req = MpiRequest("send", dst, tag, size)
             self.stats.counter("isends").add()
+            if self.sanitizer is not None:
+                self.sanitizer.on_send(req)
             if size <= self.config.eager_limit:
                 yield from self._eager_send(req, dst, tag, size, payload)
             else:
@@ -231,6 +240,10 @@ class MpiEndpoint:
                 inspected * self.config.unexpected_cost_per_element
             )
             if msg is None:
+                if self.sanitizer is not None:
+                    self.sanitizer.on_post_recv(
+                        self.posted.items, source, tag, ANY_SOURCE, ANY_TAG
+                    )
                 self.posted.post(PostedReceive(req, source, tag))
                 return req
             if msg.protocol == "eager":
@@ -414,6 +427,8 @@ class MpiEndpoint:
                     pkt.src, pkt.tag, pkt.size, pkt.payload, "eager"
                 )
             )
+            if self.sanitizer is not None:
+                self.sanitizer.on_unexpected(len(self.unexpected))
 
     def _arrival_rts(self, pkt: Packet):
         entry, inspected = self.posted.match_arrival(pkt.src, pkt.tag)
@@ -427,6 +442,8 @@ class MpiEndpoint:
                     pkt.src, pkt.tag, pkt.size, None, "rndv", token=pkt
                 )
             )
+            if self.sanitizer is not None:
+                self.sanitizer.on_unexpected(len(self.unexpected))
 
     def _arrival_rtr(self, pkt: Packet):
         """We are the rendezvous sender; RTR authorizes the RDMA put."""
@@ -474,6 +491,20 @@ class MpiEndpoint:
         recv_req._complete(
             pkt.payload, MpiStatus(pkt.src, pkt.tag, pkt.size)
         )
+
+    # ------------------------------------------------------------------
+    # Finalize audit (MPI_Finalize semantics, sanitizer-only)
+    # ------------------------------------------------------------------
+    def finalize_check(self) -> None:
+        """MUST-style audit at the point the owning layer finalizes.
+
+        No-op unless sanitizers are armed.  Reports sends never matched
+        by a receive, unexpected messages never received, and posted
+        receives never matched — all of which MPI_Finalize makes
+        erroneous or silently leaks.
+        """
+        if self.sanitizer is not None:
+            self.sanitizer.check_finalize(self)
 
     # ------------------------------------------------------------------
     # Barrier support (used by MpiWorld)

@@ -71,6 +71,11 @@ class PostedQueue:
     def __len__(self) -> int:
         return len(self._items)
 
+    @property
+    def items(self) -> Tuple[PostedReceive, ...]:
+        """Read-only snapshot in post (FIFO) order, for inspection tools."""
+        return tuple(self._items)
+
     def post(self, entry: PostedReceive) -> None:
         self._items.append(entry)
         if len(self._items) > self.max_length:

@@ -35,6 +35,7 @@ from repro.mpi.exceptions import MPIUsageError
 from repro.mpi.world import MpiWorld
 from repro.netapi.nic import RegisteredBuffer
 from repro.netapi.packet import Packet, PacketType
+from repro.sanitize.mpi_checks import WindowSanitizer
 from repro.sim.engine import Event
 
 __all__ = ["MpiWindow"]
@@ -103,6 +104,11 @@ class MpiWindow:
         for ep in world.endpoints:
             ep._rma_handlers[self.win_id] = self._make_handler(ep.rank)
         self._created = [False] * p
+        # Epoch-discipline checker, discovered like the fault injector.
+        _ctx = getattr(world.fabric, "sanitizer", None)
+        self.sanitizer: Optional[WindowSanitizer] = (
+            WindowSanitizer(_ctx, self.win_id, label) if _ctx is not None else None
+        )
 
     # ------------------------------------------------------------------
     # Creation (collective)
@@ -214,7 +220,7 @@ class MpiWindow:
         st.exposed_to = origins
         st.completes_seen = set()
         st.recv_order = []
-        for o in origins:
+        for o in sorted(origins):
             yield from self._send_control(rank, o, "post")
 
     def start(self, rank: int, targets: Iterable[int]):
@@ -233,11 +239,17 @@ class MpiWindow:
         st.posts_seen -= targets
         st.started_targets = targets
         st.pending_puts = 0
+        if self.sanitizer is not None:
+            self.sanitizer.on_epoch_start(rank)
 
     def put(self, rank: int, target: int, nbytes: int, payload, offset: int = 0):
         """RDMA-put ``payload`` into our slot at ``target`` (MPI_Put)."""
         st = self._state[rank]
         if target not in st.started_targets:
+            if self.sanitizer is not None:
+                # Records the structured violation (and raises
+                # SanitizerError in raise mode) before the hard error.
+                self.sanitizer.on_put_outside_epoch(rank, target)
             raise MPIUsageError(
                 f"rank {rank}: put to {target} outside access epoch"
             )
@@ -251,6 +263,8 @@ class MpiWindow:
                 f"for pair ({rank},{target})"
             )
         ep = self.world.endpoint(rank)
+        if self.sanitizer is not None:
+            self.sanitizer.on_put(rank, target, offset, nbytes)
         yield self.env.timeout(ep.config.rma_put_overhead)
         pkt = Packet(PacketType.RDMA, rank, target, -3, nbytes, payload=payload)
         pkt.meta["rkey"] = buf.rkey
@@ -278,6 +292,8 @@ class MpiWindow:
         if flush:
             yield from self._await(rank, lambda: st.pending_puts == 0)
         targets, st.started_targets = st.started_targets, set()
+        if self.sanitizer is not None:
+            self.sanitizer.on_epoch_complete(rank)
         for t in sorted(targets):
             yield from self._send_control(rank, t, "complete")
 

@@ -1,0 +1,38 @@
+"""Correctness tooling: static determinism lint + runtime protocol sanitizers.
+
+Two halves, one goal — keep the simulator bit-deterministic and the
+protocol models honest so every perf/refactor PR has a safety net:
+
+* :mod:`repro.sanitize.lint` — AST-based determinism lint
+  (``repro lint``), stdlib-only;
+* :mod:`repro.sanitize.runtime` + the per-layer checkers
+  (:mod:`~repro.sanitize.lci_checks`, :mod:`~repro.sanitize.mpi_checks`)
+  — opt-in MUST-style runtime sanitizers (``repro run --sanitize`` or
+  ``REPRO_SANITIZE=1``).
+"""
+
+from repro.sanitize.lci_checks import LciSanitizer
+from repro.sanitize.mpi_checks import MpiSanitizer, WindowSanitizer, signatures_overlap
+from repro.sanitize.runtime import (
+    SANITIZER_EXIT_CODE,
+    SanitizerConfig,
+    SanitizerContext,
+    SanitizerError,
+    Violation,
+    format_violations,
+    resolve_mode,
+)
+
+__all__ = [
+    "SANITIZER_EXIT_CODE",
+    "LciSanitizer",
+    "MpiSanitizer",
+    "SanitizerConfig",
+    "SanitizerContext",
+    "SanitizerError",
+    "Violation",
+    "WindowSanitizer",
+    "format_violations",
+    "resolve_mode",
+    "signatures_overlap",
+]

@@ -27,9 +27,16 @@ class RngFactory:
     def __init__(self, root_seed: int = 0):
         self.root_seed = int(root_seed)
         self._cache: Dict[str, np.random.Generator] = {}
+        self._registered: Dict[str, str] = {}
 
     def stream(self, name: str) -> np.random.Generator:
-        """Return the generator for ``name`` (created on first use)."""
+        """Return the generator for ``name`` (created on first use).
+
+        Repeated calls intentionally share the stream — this is the
+        accessor for a stream whose draws one component owns.  A
+        component that requires *exclusive* ownership of its stream uses
+        :meth:`register` instead, which rejects duplicates.
+        """
         gen = self._cache.get(name)
         if gen is None:
             # Stable derivation: name bytes -> ints mixed into SeedSequence.
@@ -38,6 +45,27 @@ class RngFactory:
             gen = np.random.default_rng(seq)
             self._cache[name] = gen
         return gen
+
+    def register(self, name: str, owner: str = "") -> np.random.Generator:
+        """Claim exclusive ownership of stream ``name`` and return it.
+
+        Two components silently sharing one stream is a determinism
+        hazard the lint cannot see (each consumer's draw sequence then
+        depends on the other's call interleaving), so duplicate
+        registration is a hard error naming both claimants.
+        """
+        if name in self._registered:
+            prev = self._registered[name] or "an earlier component"
+            raise ValueError(
+                f"rng stream {name!r} is already registered by {prev}: "
+                f"two components sharing one stream makes each one's "
+                f"draw sequence depend on the other's call order. "
+                f"Register a distinct stream name"
+                + (f" for {owner}" if owner else "")
+                + "."
+            )
+        self._registered[name] = owner
+        return self.stream(name)
 
     def fork(self, name: str) -> "RngFactory":
         """A child factory whose streams are disjoint from the parent's."""

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim.engine import Environment
-from repro.sim.machine import stampede2, stampede1
+from repro.sim.machine import stampede2
 from repro.netapi.nic import Fabric
 
 

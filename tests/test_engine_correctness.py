@@ -13,7 +13,6 @@ from repro.apps import Bfs, ConnectedComponents, PageRank, Sssp
 from repro.engine import BspEngine, EngineConfig, abelian_engine, gemini_engine
 from repro.engine.bsp import symmetrize
 from repro.graph.generators import rmat, webcrawl
-from repro.sim.machine import stampede2
 
 LAYERS = ["lci", "mpi-probe", "mpi-rma"]
 

@@ -1,9 +1,8 @@
 """Engine robustness: degenerate graphs, odd host counts, empty work."""
 
 import numpy as np
-import pytest
 
-from repro.apps import Bfs, ConnectedComponents, PageRank, Sssp
+from repro.apps import Bfs, PageRank
 from repro.engine import BspEngine, EngineConfig
 from repro.graph.csr import CsrGraph
 from repro.graph.generators import rmat

@@ -1,7 +1,5 @@
 """Unit tests for the fault-injection subsystem (repro.faults)."""
 
-import math
-
 import numpy as np
 import pytest
 

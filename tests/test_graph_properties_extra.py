@@ -6,9 +6,9 @@ from hypothesis import given, settings, strategies as st
 
 from repro.graph.csr import CsrGraph
 from repro.graph.generators import kron, rmat, webcrawl
-from repro.graph.io import load_edgelist, save_edgelist
+from repro.graph.io import load_edgelist
 from repro.graph.partition.edge_cut import balanced_node_blocks
-from repro.graph.properties import GraphProperties, graph_properties
+from repro.graph.properties import graph_properties
 
 
 def test_properties_empty_graph():

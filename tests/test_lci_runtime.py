@@ -4,7 +4,6 @@ import pytest
 
 from repro.lci import LciConfig, LciRuntime, MpmcQueue, PacketPool
 from repro.netapi.nic import Fabric
-from repro.netapi.packet import PacketType
 from repro.sim.engine import Environment
 from repro.sim.machine import stampede2
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.lci.config import LciConfig
-from repro.mpi.config import MpiConfig, ThreadMode
+from repro.mpi.config import ThreadMode
 from repro.mpi.presets import MPI_PRESETS, default_mpi, intel_mpi
 from repro.sim.machine import PRESETS, MachineModel, stampede1, stampede2
 

@@ -1,6 +1,5 @@
 """Additional MPI coverage: matching engine units, status, edge paths."""
 
-import numpy as np
 import pytest
 
 from repro.mpi import (

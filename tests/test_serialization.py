@@ -6,7 +6,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.comm.serialization import (
     HEADER_BYTES,
-    UpdateBlob,
     metadata_bytes,
     pack_cost,
     pack_updates,

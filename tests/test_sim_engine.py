@@ -3,14 +3,9 @@
 import pytest
 
 from repro.sim.engine import (
-    AllOf,
-    AnyOf,
     Environment,
-    Event,
     Interrupt,
-    Process,
     SimulationError,
-    Timeout,
 )
 
 

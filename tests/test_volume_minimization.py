@@ -8,7 +8,6 @@ ship (nearly) nothing.
 """
 
 import numpy as np
-import pytest
 
 from repro.apps import Bfs, PageRank
 from repro.engine import BspEngine, EngineConfig
