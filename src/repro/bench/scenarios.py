@@ -83,14 +83,15 @@ def run_scenario(sc: Scenario) -> RunMetrics:
 
 
 def build_engine(
-    sc: Scenario, tracer=None, fault_plan=None
+    sc: Scenario, tracer=None, fault_plan=None, obs=None
 ) -> BspEngine:
     """Construct the (unrun) engine for a scenario.
 
     ``tracer`` attaches a :class:`repro.sim.trace.Tracer`; ``fault_plan``
     (a plan object or name) overrides the scenario's own ``fault_plan``
-    field.  Callers that need the engine afterwards — for
-    ``assemble_global`` or injector statistics — use this instead of
+    field; ``obs`` attaches a :class:`repro.obs.ObsContext` for
+    message-lifecycle tracing.  Callers that need the engine afterwards —
+    for ``assemble_global`` or injector statistics — use this instead of
     :func:`run_scenario`.
     """
     if sc.system not in ("abelian", "gemini"):
@@ -147,5 +148,6 @@ def build_engine(
         tracer=tracer,
         fault_plan=fault_plan,
         sanitize=sc.sanitize,
+        obs=obs,
     )
     return BspEngine(graph, app, cfg)

@@ -10,6 +10,9 @@
     python -m repro inputs --scale 14
     python -m repro calibrate
     python -m repro lint [--json report.json] [paths...]
+    python -m repro run ... --obs obs.json [--obs-chrome t.json] \\
+        [--obs-prom m.prom]
+    python -m repro explain obs.json [--check] [--top 5] [--per-round]
 
 Each subcommand prints the same tables the benchmark harness produces.
 
@@ -67,6 +70,17 @@ def build_parser() -> argparse.ArgumentParser:
                      help="arm the protocol sanitizers (default mode: "
                           "warn; exits %d on violations)"
                           % SANITIZER_EXIT_CODE)
+    run.add_argument("--obs", nargs="?", const="obs-timeline.json",
+                     metavar="PATH",
+                     help="trace the message lifecycle and write the "
+                          "observability timeline JSON (input of "
+                          "`repro explain`)")
+    run.add_argument("--obs-chrome", metavar="PATH",
+                     help="also export the obs timeline as a Chrome "
+                          "trace with flow arrows (implies --obs)")
+    run.add_argument("--obs-prom", metavar="PATH",
+                     help="also export aggregate obs metrics in "
+                          "Prometheus text format (implies --obs)")
 
     chaos = sub.add_parser(
         "chaos", help="run one scenario under a named fault plan"
@@ -96,6 +110,24 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["warn", "raise"], default=None,
                        help="arm the protocol sanitizers for both the "
                             "baseline and the faulted run")
+    chaos.add_argument("--obs", nargs="?", const="obs-timeline.json",
+                       metavar="PATH",
+                       help="trace the faulted run's message lifecycle "
+                            "and write the observability timeline JSON")
+
+    explain = sub.add_parser(
+        "explain",
+        help="critical-path report from an observability timeline",
+    )
+    explain.add_argument("timeline", metavar="TIMELINE",
+                         help="timeline JSON written by `repro run --obs`")
+    explain.add_argument("--check", action="store_true",
+                         help="validate the timeline document first "
+                              "(exit 1 on format errors)")
+    explain.add_argument("--top", type=int, default=5,
+                         help="how many slowest messages to break down")
+    explain.add_argument("--per-round", action="store_true",
+                         help="include the per-round dominant-stage table")
 
     sweep = sub.add_parser("sweep", help="host-count sweep across layers")
     sweep.add_argument("--app", default="pagerank",
@@ -135,6 +167,13 @@ def _cmd_run(args) -> int:
     if args.trace:
         from repro.sim.trace import Tracer
         tracer = Tracer()
+    obs = None
+    obs_path = args.obs
+    if obs_path or args.obs_chrome or args.obs_prom:
+        from repro.obs import ObsContext
+        obs = ObsContext()
+        if obs_path is None:
+            obs_path = "obs-timeline.json"
     sc = Scenario(
         app=args.app, graph=args.graph, scale=args.scale, hosts=args.hosts,
         layer=args.layer, system=args.system, machine=args.machine,
@@ -142,13 +181,15 @@ def _cmd_run(args) -> int:
         seed=args.seed, sanitize=args.sanitize,
     )
     try:
-        m = build_engine(sc, tracer=tracer).run()
+        m = build_engine(sc, tracer=tracer, obs=obs).run()
     except SanitizerError as exc:
         print(f"sanitizer violation: {exc}", file=sys.stderr)
         return SANITIZER_EXIT_CODE
     if tracer is not None:
         tracer.save(args.trace)
         print(f"trace written to {args.trace}")
+    if obs is not None:
+        _export_obs(obs, m, sc, obs_path, args.obs_chrome, args.obs_prom)
     print(format_table([m.row()]))
     print(f"\ntotal {format_seconds(m.total_seconds)} = compute "
           f"{format_seconds(m.compute_seconds)} + comm "
@@ -156,6 +197,66 @@ def _cmd_run(args) -> int:
     if m.sanitizer_violations:
         print(format_violations(m.sanitizer_violations), file=sys.stderr)
         return SANITIZER_EXIT_CODE
+    return 0
+
+
+def _obs_meta(m, sc: Scenario) -> dict:
+    """Run-level metadata embedded in the observability timeline."""
+    return {
+        "scenario": sc.label(),
+        "layer": sc.layer,
+        "hosts": sc.hosts,
+        "total_seconds": m.total_seconds,
+        "compute_seconds": m.compute_seconds,
+        "comm_seconds": m.comm_seconds,
+        "setup_seconds": m.setup_seconds,
+        "rounds": m.rounds,
+        "blobs_sent": m.blobs_sent,
+        "updates_shipped": m.updates_shipped,
+    }
+
+
+def _export_obs(obs, m, sc: Scenario, obs_path, chrome_path, prom_path):
+    from repro.obs import (
+        build_timelines,
+        format_stage_table,
+        save_chrome_trace,
+        save_prometheus,
+        save_timeline,
+        stage_attribution,
+    )
+
+    timeline = obs.as_timeline(meta=_obs_meta(m, sc))
+    save_timeline(obs_path, timeline)
+    print(f"obs timeline written to {obs_path} "
+          f"({len(timeline['events'])} events)")
+    if chrome_path:
+        save_chrome_trace(chrome_path, timeline)
+        print(f"obs chrome trace written to {chrome_path}")
+    if prom_path:
+        save_prometheus(prom_path, timeline)
+        print(f"obs prometheus metrics written to {prom_path}")
+    print("\nstage attribution (per layer):")
+    print(format_stage_table(stage_attribution(build_timelines(timeline))))
+    print(f"\nrun `repro explain {obs_path}` for the full "
+          "critical-path report\n")
+
+
+def _cmd_explain(args) -> int:
+    from repro.obs import explain_report, load_timeline, validate_timeline
+
+    try:
+        timeline = load_timeline(args.timeline)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {args.timeline}: {exc}", file=sys.stderr)
+        return 1
+    if args.check:
+        errors = validate_timeline(timeline)
+        if errors:
+            for err in errors:
+                print(f"invalid timeline: {err}", file=sys.stderr)
+            return 1
+    print(explain_report(timeline, top=args.top, per_round=args.per_round))
     return 0
 
 
@@ -179,19 +280,32 @@ def _cmd_chaos(args) -> int:
     if args.trace:
         from repro.sim.trace import Tracer
         tracer = Tracer()
+    obs = None
+    if args.obs:
+        from repro.obs import ObsContext
+        obs = ObsContext()
     sc = Scenario(
         app=args.app, graph=args.graph, scale=args.scale, hosts=args.hosts,
         layer=args.layer, system=args.system, machine=args.machine,
         seed=args.seed, sanitize=args.sanitize,
     )
     try:
-        report = run_chaos(sc, plan, tracer=tracer)
+        report = run_chaos(sc, plan, tracer=tracer, obs=obs)
     except SanitizerError as exc:
         print(f"sanitizer violation: {exc}", file=sys.stderr)
         return SANITIZER_EXIT_CODE
     if tracer is not None:
         tracer.save(args.trace)
         print(f"trace written to {args.trace}")
+    if obs is not None:
+        from repro.obs import save_timeline
+        timeline = obs.as_timeline(meta={
+            "scenario": sc.label(), "layer": sc.layer, "hosts": sc.hosts,
+            "plan": report.plan, "outcome": report.outcome,
+        })
+        save_timeline(args.obs, timeline)
+        print(f"obs timeline written to {args.obs} "
+              f"({len(timeline['events'])} events)")
     print(format_chaos_report(report))
     if report.outcome != "recovered":
         return 1
@@ -291,6 +405,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
         "run": _cmd_run,
+        "explain": _cmd_explain,
         "chaos": _cmd_chaos,
         "sweep": _cmd_sweep,
         "micro": _cmd_micro,

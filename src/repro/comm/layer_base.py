@@ -59,6 +59,9 @@ class CommLayer:
         self.machine = machine
         self.stats = StatRegistry(f"{self.name}.host{host}")
         self.footprint = self.stats.peak("comm_buffer_bytes")
+        #: Optional ObsContext; subclasses overwrite this with the
+        #: fabric's context at construction (discovery pattern).
+        self.obs = None
         #: phase -> list of (src, blob) already received but not collected
         self._stash: Dict[object, List[Tuple[int, UpdateBlob]]] = {}
         self._stash_waiters: Dict[object, Event] = {}
@@ -71,6 +74,28 @@ class CommLayer:
 
     def buf_free(self, nbytes: int) -> None:
         self.footprint.sub(nbytes)
+
+    # ------------------------------------------------------------------
+    # Observability helper
+    # ------------------------------------------------------------------
+    def trace_send(self, dst: int, blob: UpdateBlob):
+        """Mint a trace id for ``blob`` and emit its ``api`` event.
+
+        Returns the id (or ``None`` with obs off).  The id is stored on
+        the blob (``blob.trace_id``) so the receive side can emit the
+        terminal event for the same trace.
+        """
+        if self.obs is None:
+            return None
+        trace = self.obs.new_trace(self.name, self.host, dst)
+        blob.trace_id = trace
+        args = {"dst": dst, "bytes": blob.nbytes}
+        phase = blob.phase
+        if isinstance(phase, tuple) and len(phase) >= 2:
+            args["round"] = phase[0]
+            args["pattern"] = phase[1]
+        self.obs.emit(trace, "api", self.host, **args)
+        return trace
 
     # ------------------------------------------------------------------
     # Inbound demultiplexing helpers (used by subclasses)

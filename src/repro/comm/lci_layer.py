@@ -45,6 +45,7 @@ class LciCommLayer(CommLayer):
     ):
         super().__init__(env, host, machine)
         self.rt = runtime
+        self.obs = getattr(runtime.nic.fabric, "obs", None)
         #: Rendezvous receive requests not yet complete, keyed by request.
         self._pending_recvs: List[LciRequest] = []
         # Fixed pool memory is communication-buffer memory (Fig. 5).
@@ -81,12 +82,18 @@ class LciCommLayer(CommLayer):
         self.buf_alloc(blob.nbytes)
         self.stats.counter("blobs_sent").add()
         thread = f"compute-{self.host}"
+        trace = self.trace_send(dst, blob)
+        first_fail_at = None
         while True:
+            attempt_start = self.env.now
             req = yield from self.rt.send_enq(
-                dst, tag=0, size=blob.nbytes, payload=blob, thread=thread
+                dst, tag=0, size=blob.nbytes, payload=blob, thread=thread,
+                trace=trace,
             )
             if req is not None:
                 break
+            if first_fail_at is None:
+                first_fail_at = attempt_start
             self.stats.counter("send_retries").add()
             drained = yield from self.rt.recv_deq(thread=thread)
             if drained is not None:
@@ -96,6 +103,11 @@ class LciCommLayer(CommLayer):
                 self.rt.pool.wait_available(),
                 self.rt.queue.wait_nonempty(),
             ])
+        if self.obs is not None and first_fail_at is not None:
+            # Pool recycling held this send up: the stall runs from the
+            # first failed SEND-ENQ to the start of the one that stuck.
+            self.obs.stall(self.host, "pool_wait", first_fail_at,
+                           attempt_start)
         if req.done:
             self.buf_free(blob.nbytes)
         else:

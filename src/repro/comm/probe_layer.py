@@ -75,6 +75,7 @@ class ProbeCommLayer(CommLayer):
     ):
         super().__init__(env, host, machine)
         self.ep = endpoint
+        self.obs = getattr(endpoint.nic.fabric, "obs", None)
         self.flush_timeout = flush_timeout
         self.inline_sends = inline_sends
         self.buffered = buffered
@@ -128,11 +129,12 @@ class ProbeCommLayer(CommLayer):
         """Hand a gathered buffer to the communication machinery."""
         self.buf_alloc(blob.nbytes)
         self.stats.counter("blobs_sent").add()
+        trace = self.trace_send(dst, blob)
         if self.inline_sends:
             # Gemini mode: this thread calls MPI itself (THREAD_MULTIPLE).
             req = yield from self.ep.isend(
                 dst, DATA_TAG, blob.nbytes, payload=[blob],
-                thread=f"compute-{self.host}",
+                thread=f"compute-{self.host}", trace=trace,
             )
             req.on_complete(lambda _r, n=blob.nbytes: self.buf_free(n))
             return
@@ -182,6 +184,10 @@ class ProbeCommLayer(CommLayer):
                     agg.nbytes += blob.nbytes
                     if agg.oldest is None:
                         agg.oldest = env.now
+                    tr = getattr(blob, "trace_id", None)
+                    if self.obs is not None and tr is not None:
+                        self.obs.emit(tr, "agg", self.host,
+                                      dst=dst, agg_bytes=agg.nbytes)
                     if agg.nbytes >= ep.config.eager_limit:
                         yield from self._flush_dst(dst)
 
@@ -266,12 +272,25 @@ class ProbeCommLayer(CommLayer):
         self.stats.counter("aggregates_flushed").add()
 
     def _isend(self, dst: int, items: List[UpdateBlob], nbytes: int):
+        msg_trace = None
+        if self.obs is not None:
+            # The aggregate frame is its own traced message; each member
+            # blob links to it with a "bundled" event so the analyzer can
+            # split frame latency back onto the blobs it carried.
+            msg_trace = self.obs.new_trace(self.name, self.host, dst)
+            self.obs.emit(msg_trace, "api", self.host, kind="aggregate",
+                          dst=dst, items=len(items), bytes=nbytes)
+            for blob in items:
+                tr = getattr(blob, "trace_id", None)
+                if tr is not None:
+                    self.obs.emit(tr, "bundled", self.host, msg=msg_trace)
         req = yield from self.ep.isend(
             dst,
             DATA_TAG,
             nbytes + AGG_FRAME_BYTES * len(items),
             payload=list(items),
             thread=self._thread_token,
+            trace=msg_trace,
         )
         self.stats.counter("mpi_isends").add()
         if req.done:
@@ -286,6 +305,14 @@ class ProbeCommLayer(CommLayer):
         items: List[UpdateBlob] = req.payload
         for blob in items:
             self.buf_alloc(blob.nbytes)
+            if self.obs is not None and not self.inline_sends:
+                # Close each member blob's trace (in inline mode the blob
+                # trace IS the message trace, already completed by the
+                # endpoint — a second terminal event would double-count).
+                tr = getattr(blob, "trace_id", None)
+                if tr is not None:
+                    self.obs.emit(tr, "complete", self.host,
+                                  src=req.status.source)
             self._deliver(req.status.source, blob)
         self.stats.counter("aggregates_received").add()
 

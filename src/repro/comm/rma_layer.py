@@ -64,6 +64,7 @@ class RmaCommLayer(CommLayer):
     ):
         super().__init__(env, host, machine)
         self.ep = endpoint
+        self.obs = getattr(endpoint.nic.fabric, "obs", None)
         #: pattern name -> MpiWindow (shared across all hosts' layers).
         self.windows: Dict[str, MpiWindow] = {}
         self._staged: Dict[object, int] = {}  # phase -> staged bytes
@@ -162,7 +163,9 @@ class RmaCommLayer(CommLayer):
         self.buf_alloc(blob.nbytes)
         self._staged[blob.phase] = self._staged.get(blob.phase, 0) + blob.nbytes
         self.stats.counter("puts").add()
-        yield from win.put(self.host, dst, blob.nbytes, payload=blob)
+        trace = self.trace_send(dst, blob)
+        yield from win.put(self.host, dst, blob.nbytes, payload=blob,
+                           trace=trace)
 
     def flush(self, phase=None):
         """Close the access epoch: all puts flushed, COMPLETEs sent."""
@@ -187,6 +190,10 @@ class RmaCommLayer(CommLayer):
                 continue
             blobs = payload if isinstance(payload, list) else [payload]
             for blob in blobs:
+                if self.obs is not None:
+                    tr = getattr(blob, "trace_id", None)
+                    if tr is not None:
+                        self.obs.emit(tr, "complete", self.host, src=origin)
                 got.append((origin, blob))
         return got
 

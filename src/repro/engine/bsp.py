@@ -98,6 +98,12 @@ class EngineConfig:
     #: environment is read, at engine construction, so the simulation
     #: modules themselves stay environment-independent (lint rule D104).
     sanitize: Optional[str] = None
+    #: Optional :class:`repro.obs.ObsContext` for message-lifecycle
+    #: tracing and queue probes.  Installed on the fabric before the
+    #: layers are built (like sanitizers/faults) so every component can
+    #: self-discover it.  Pure observation: a run with obs enabled is
+    #: bit-identical to one without.
+    obs: Optional[object] = None
 
 
 class BspEngine:
@@ -140,6 +146,11 @@ class BspEngine:
                 self.injector = FaultInjector(
                     self.env, plan, tracer=config.tracer
                 ).install(self.fabric)
+        # Observability rides the fabric too; must also precede the
+        # layers so endpoints register their queue probes at build time.
+        self.obs = config.obs
+        if self.obs is not None:
+            self.obs.install(self.env, self.fabric)
         self.layers: List[CommLayer] = make_layers(
             config.layer, self.env, self.fabric, config.machine,
             **config.layer_kwargs,

@@ -87,7 +87,10 @@ class RunMetrics:
             "time_s": round(self.total_seconds, 6),
             "compute_s": round(self.compute_seconds, 6),
             "comm_s": round(self.comm_seconds, 6),
+            "setup_s": round(self.setup_seconds, 6),
             "rounds": self.rounds,
+            "blobs_sent": self.blobs_sent,
+            "updates_shipped": self.updates_shipped,
             "mem_max_MB": round(self.max_footprint / 2**20, 3),
             "mem_min_MB": round(self.min_footprint / 2**20, 3),
         }

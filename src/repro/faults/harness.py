@@ -101,12 +101,15 @@ def run_chaos(
     plan,
     fault_seed: Optional[int] = None,
     tracer=None,
+    obs=None,
 ) -> ChaosReport:
     """Run ``sc`` fault-free and under ``plan``; compare and report.
 
     ``plan`` may be a :class:`FaultPlan` or the name of one.  The
     baseline uses a fresh cluster with identical seeds, so any output
-    difference is attributable to the faults.
+    difference is attributable to the faults.  ``obs`` (an
+    :class:`repro.obs.ObsContext`) attaches lifecycle tracing to the
+    *faulted* run only — the baseline stays instrumentation-free.
     """
     plan = get_plan(plan, fault_seed)
 
@@ -128,7 +131,7 @@ def run_chaos(
         report.rounds = base_metrics.rounds
         return report
 
-    engine = build_engine(sc, fault_plan=plan, tracer=tracer)
+    engine = build_engine(sc, fault_plan=plan, tracer=tracer, obs=obs)
     try:
         metrics = engine.run()
     except LostCompletionError as exc:

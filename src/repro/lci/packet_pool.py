@@ -86,6 +86,11 @@ class PacketPool:
         """Total preallocated communication-buffer bytes (constant)."""
         return self.size * self.packet_data_bytes
 
+    def register_obs(self, obs, host: int) -> None:
+        """Expose pool occupancy to the observability sampler."""
+        obs.register_probe("lci.pool_in_use", host, lambda: self.in_use)
+        obs.register_probe("lci.pool_free", host, lambda: self.free_packets)
+
     # ------------------------------------------------------------------
     def alloc(self, thread: object = None, for_recv: bool = False):
         """Generator: try to take a packet budget; returns bool success.

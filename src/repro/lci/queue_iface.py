@@ -89,6 +89,13 @@ class LciQueue:
         if _ctx is not None:
             self.sanitizer = LciSanitizer(_ctx, rank)
             self.pool.sanitizer = self.sanitizer
+        # Observability: pool-occupancy and queue-depth probes.
+        self.obs = getattr(nic.fabric, "obs", None)
+        if self.obs is not None:
+            self.pool.register_obs(self.obs, rank)
+            self.obs.register_probe(
+                "lci.queue_depth", rank, self.queue.__len__
+            )
 
     # ------------------------------------------------------------------
     # Algorithm 1: SEND-ENQ
@@ -100,15 +107,21 @@ class LciQueue:
         size: int,
         payload: Any = None,
         thread: object = None,
+        trace: Optional[str] = None,
     ):
         """Generator: initiate a send; returns an LciRequest or ``None``.
 
         ``None`` means no packet was available — retry later (the pool is
         the flow control; this is the non-fatal failure MPI lacks).
+        ``trace`` is an optional observability trace id carried on the
+        wire packets.
         """
         ok = yield from self.pool.alloc(thread)
         if not ok:
             return None
+        if self.obs is not None and trace is not None:
+            self.obs.emit(trace, "lib", self.rank,
+                          op="send_enq", dst=dst, bytes=size)
         req = LciRequest("send", dst, tag, size)
         if size <= self.config.packet_data_bytes:
             # Short protocol: copy into the packet, fire, done.
@@ -117,6 +130,8 @@ class LciQueue:
                 PacketType.EGR, self.rank, dst, tag, size, payload=payload
             )
             pkt.request = req
+            if trace is not None:
+                pkt.meta["trace"] = trace
             yield from self.charge_send_overhead()
             ok = self._lc_send(
                 pkt, on_local_complete=lambda: self.pool.free_nowait(thread)
@@ -133,6 +148,8 @@ class LciQueue:
             )
             pkt.request = req
             pkt.meta["data"] = payload
+            if trace is not None:
+                pkt.meta["trace"] = trace
             yield from self.charge_send_overhead()
             ok = self._lc_send(pkt)
             if not ok:
@@ -181,12 +198,17 @@ class LciQueue:
         if pkt is None:
             return None
         self.pool.touch(pkt)
+        tr = pkt.meta.get("trace") if self.obs is not None else None
+        if tr is not None:
+            self.obs.emit(tr, "handler", self.rank, ptype=pkt.ptype.name)
         req = LciRequest("recv", pkt.src, pkt.tag, pkt.size)
         if pkt.ptype is PacketType.EGR:
             # Allocate a user buffer and copy out; free the pool packet.
             yield self.env.timeout(self.cpu.alloc_cost)
             yield self.env.timeout(self.cpu.memcpy_time(pkt.size))
             req._complete(pkt.payload)
+            if tr is not None:
+                self.obs.emit(tr, "complete", self.rank, bytes=pkt.size)
             self.pool.retire(pkt)
             yield from self.pool.free(thread)
             self.stats.counter("egr_recvs").add()
@@ -202,6 +224,8 @@ class LciQueue:
             rtr.meta["send_req"] = pkt.request
             rtr.meta["data"] = pkt.meta["data"]
             rtr.meta["recv_req"] = req
+            if tr is not None:
+                rtr.meta["trace"] = tr
             yield from self.charge_send_overhead()
             while not self._lc_send(rtr):
                 yield self.env.timeout(self.config.retry_backoff)

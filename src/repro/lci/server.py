@@ -134,6 +134,9 @@ class LciRuntime(LciQueue):
         # A recycled packet showing up here again (e.g. a duplicate
         # delivery after the receive path freed it) is a use-after-free.
         self.pool.touch(pkt)
+        tr = pkt.meta.get("trace") if self.obs is not None else None
+        if tr is not None:
+            self.obs.emit(tr, "progress", self.rank, ptype=pkt.ptype.name)
         if pkt.ptype in (PacketType.EGR, PacketType.RTS):
             # Take a receive-buffer budget; stall (backpressure) if dry.
             # Receive allocs may use the reserve the send path cannot.
@@ -144,11 +147,16 @@ class LciRuntime(LciQueue):
                 self.stats.counter("server_pool_stalls").add()
                 yield self.pool.wait_available(for_recv=True)
             yield from self.queue.enqueue(pkt)
+            if tr is not None:
+                self.obs.emit(tr, "queue_wait", self.rank,
+                              depth=len(self.queue))
         elif pkt.ptype is PacketType.RTR:
             yield from self._serve_rtr(pkt)
         elif pkt.ptype is PacketType.RDMA:
             recv_req = pkt.meta["recv_req"]
             recv_req._complete(pkt.payload)
+            if tr is not None:
+                self.obs.emit(tr, "complete", self.rank, bytes=pkt.size)
             # packetFree(P, p): the budget taken when the RTS arrived.
             self.pool.retire(pkt)
             yield from self.pool.free()
@@ -169,6 +177,8 @@ class LciRuntime(LciQueue):
         )
         rdma.meta["recv_req"] = pkt.meta["recv_req"]
         rdma.meta["rkey"] = self._put_sink_rkey(pkt.src)
+        if pkt.meta.get("trace") is not None:
+            rdma.meta["trace"] = pkt.meta["trace"]
 
         def _acked() -> None:
             send_req._complete()

@@ -104,6 +104,21 @@ class MpiEndpoint:
             MpiSanitizer(_ctx, rank) if _ctx is not None else None
         )
 
+        # Observability context, discovered the same way.  The matching
+        # queues learn about it so they can stamp arrival times, and the
+        # queue-depth probes the paper's Fig. 6 narrative implies are
+        # registered here.
+        self.obs = getattr(nic.fabric, "obs", None)
+        if self.obs is not None:
+            self.unexpected.obs = self.obs
+            self.unexpected.host = rank
+            self.obs.register_probe(
+                "mpi.unexpected_depth", rank, self.unexpected.__len__
+            )
+            self.obs.register_probe(
+                "mpi.posted_depth", rank, self.posted.__len__
+            )
+
     # ------------------------------------------------------------------
     # Cost & locking helpers
     # ------------------------------------------------------------------
@@ -187,8 +202,14 @@ class MpiEndpoint:
         size: int,
         payload: Any = None,
         thread: Optional[object] = None,
+        trace: Optional[str] = None,
     ):
-        """Nonblocking send; returns an :class:`MpiRequest`."""
+        """Nonblocking send; returns an :class:`MpiRequest`.
+
+        ``trace`` is an optional observability trace id; when set it
+        rides the wire packets so the receive side can link its stage
+        events to this send.
+        """
         if tag < 0:
             raise MPIUsageError(f"negative user tag {tag}")
         yield from self._enter(thread)
@@ -197,30 +218,37 @@ class MpiEndpoint:
             self.stats.counter("isends").add()
             if self.sanitizer is not None:
                 self.sanitizer.on_send(req)
+            if self.obs is not None and trace is not None:
+                self.obs.emit(trace, "lib", self.rank,
+                              op="isend", dst=dst, bytes=size)
             if size <= self.config.eager_limit:
-                yield from self._eager_send(req, dst, tag, size, payload)
+                yield from self._eager_send(req, dst, tag, size, payload, trace)
             else:
-                yield from self._rndv_send(req, dst, tag, size, payload)
+                yield from self._rndv_send(req, dst, tag, size, payload, trace)
             return req
         finally:
             self._exit()
 
-    def _eager_send(self, req, dst, tag, size, payload):
+    def _eager_send(self, req, dst, tag, size, payload, trace=None):
         # Bounce-buffer copy so the user buffer is immediately reusable.
         copy = self.cpu.memcpy_time(size) * self.config.eager_copy_factor
         yield from self._charge(copy)
         yield from self._consume_credit(dst)
         pkt = Packet(PacketType.EGR, self.rank, dst, tag, size, payload=payload)
         pkt.meta["mpi"] = True
+        if trace is not None:
+            pkt.meta["trace"] = trace
         yield from self._inject(pkt)
         self.stats.counter("eager_sends").add()
         req._complete()
 
-    def _rndv_send(self, req, dst, tag, size, payload):
+    def _rndv_send(self, req, dst, tag, size, payload, trace=None):
         pkt = Packet(PacketType.RTS, self.rank, dst, tag, size)
         pkt.meta["mpi"] = True
         pkt.meta["send_req"] = req
         pkt.meta["data"] = payload
+        if trace is not None:
+            pkt.meta["trace"] = trace
         yield from self._inject(pkt)
         self.stats.counter("rndv_sends").add()
 
@@ -246,12 +274,21 @@ class MpiEndpoint:
                     )
                 self.posted.post(PostedReceive(req, source, tag))
                 return req
+            if self.obs is not None and msg.trace is not None:
+                self.obs.emit(
+                    msg.trace, "handler", self.rank,
+                    waited=self.obs.now - msg.arrived_at,
+                    inspected=inspected, protocol=msg.protocol,
+                )
             if msg.protocol == "eager":
                 # Copy out of the MPI-internal buffer; credit goes home.
                 yield from self._charge(self.cpu.memcpy_time(msg.size))
                 req._complete(
                     msg.payload, MpiStatus(msg.source, msg.tag, msg.size)
                 )
+                if self.obs is not None and msg.trace is not None:
+                    self.obs.emit(msg.trace, "complete", self.rank,
+                                  bytes=msg.size)
                 self._peer_credit_home(msg.source)
             else:  # rendezvous RTS parked unexpected
                 yield from self._answer_rts(msg.token, req)
@@ -270,6 +307,8 @@ class MpiEndpoint:
         rtr.meta["send_req"] = rts_pkt.meta["send_req"]
         rtr.meta["data"] = rts_pkt.meta["data"]
         rtr.meta["recv_req"] = req
+        if rts_pkt.meta.get("trace") is not None:
+            rtr.meta["trace"] = rts_pkt.meta["trace"]
         yield from self._inject(rtr)
 
     def _peer_credit_home(self, src: int) -> None:
@@ -385,6 +424,9 @@ class MpiEndpoint:
 
     def _handle_packet(self, pkt: Packet):
         meta = pkt.meta
+        if self.obs is not None and meta.get("trace") is not None:
+            self.obs.emit(meta["trace"], "progress", self.rank,
+                          ptype=pkt.ptype.name)
         if meta.get("rma_win") is not None:
             handler = self._rma_handlers.get(meta["rma_win"])
             if handler is None:
@@ -414,17 +456,24 @@ class MpiEndpoint:
     def _arrival_eager(self, pkt: Packet):
         entry, inspected = self.posted.match_arrival(pkt.src, pkt.tag)
         yield from self._charge(inspected * self.config.match_cost_per_element)
+        tr = pkt.meta.get("trace") if self.obs is not None else None
         if entry is not None:
+            if tr is not None:
+                self.obs.emit(tr, "handler", self.rank,
+                              inspected=inspected, posted=True)
             yield from self._charge(self.cpu.memcpy_time(pkt.size))
             entry.req._complete(
                 pkt.payload, MpiStatus(pkt.src, pkt.tag, pkt.size)
             )
+            if tr is not None:
+                self.obs.emit(tr, "complete", self.rank, bytes=pkt.size)
             self._peer_credit_home(pkt.src)
         else:
             self.stats.counter("unexpected_msgs").add()
             self.unexpected.add(
                 UnexpectedMessage(
-                    pkt.src, pkt.tag, pkt.size, pkt.payload, "eager"
+                    pkt.src, pkt.tag, pkt.size, pkt.payload, "eager",
+                    trace=pkt.meta.get("trace"),
                 )
             )
             if self.sanitizer is not None:
@@ -434,12 +483,16 @@ class MpiEndpoint:
         entry, inspected = self.posted.match_arrival(pkt.src, pkt.tag)
         yield from self._charge(inspected * self.config.match_cost_per_element)
         if entry is not None:
+            if self.obs is not None and pkt.meta.get("trace") is not None:
+                self.obs.emit(pkt.meta["trace"], "handler", self.rank,
+                              inspected=inspected, posted=True)
             yield from self._answer_rts(pkt, entry.req)
         else:
             self.stats.counter("unexpected_msgs").add()
             self.unexpected.add(
                 UnexpectedMessage(
-                    pkt.src, pkt.tag, pkt.size, None, "rndv", token=pkt
+                    pkt.src, pkt.tag, pkt.size, None, "rndv", token=pkt,
+                    trace=pkt.meta.get("trace"),
                 )
             )
             if self.sanitizer is not None:
@@ -455,6 +508,8 @@ class MpiEndpoint:
         data_pkt.meta["mpi"] = True
         data_pkt.meta["recv_req"] = pkt.meta["recv_req"]
         data_pkt.meta["rkey"] = self._rndv_sink_rkey(pkt.src)
+        if pkt.meta.get("trace") is not None:
+            data_pkt.meta["trace"] = pkt.meta["trace"]
         # Account for imperfect pipelining of the large transfer.
         eff = self.config.bandwidth_efficiency
         if eff < 1.0:
@@ -491,6 +546,9 @@ class MpiEndpoint:
         recv_req._complete(
             pkt.payload, MpiStatus(pkt.src, pkt.tag, pkt.size)
         )
+        if self.obs is not None and pkt.meta.get("trace") is not None:
+            self.obs.emit(pkt.meta["trace"], "complete", self.rank,
+                          bytes=pkt.size)
 
     # ------------------------------------------------------------------
     # Finalize audit (MPI_Finalize semantics, sanitizer-only)

@@ -35,7 +35,10 @@ class PostedReceive:
 class UnexpectedMessage:
     """A message that arrived before any matching receive was posted."""
 
-    __slots__ = ("source", "tag", "size", "payload", "protocol", "token")
+    __slots__ = (
+        "source", "tag", "size", "payload", "protocol", "token",
+        "trace", "arrived_at",
+    )
 
     def __init__(
         self,
@@ -45,6 +48,7 @@ class UnexpectedMessage:
         payload: Any,
         protocol: str,
         token: Any = None,
+        trace: Optional[str] = None,
     ):
         self.source = source
         self.tag = tag
@@ -54,6 +58,12 @@ class UnexpectedMessage:
         self.protocol = protocol
         #: Protocol-specific handle (e.g. the RTS packet to answer).
         self.token = token
+        #: Observability trace id of the message (None when obs is off).
+        self.trace = trace
+        #: Simulated time the message entered the unexpected queue
+        #: (0.0 until observability stamps it); the matching wait the
+        #: paper blames is measured from here.
+        self.arrived_at = 0.0
 
     def matched_by(self, source: int, tag: int) -> bool:
         return (source in (ANY_SOURCE, self.source)) and (
@@ -106,6 +116,10 @@ class UnexpectedQueue:
     def __init__(self):
         self._items: List[UnexpectedMessage] = []
         self.max_length = 0
+        #: Optional ObsContext + owning rank, attached by the endpoint
+        #: when observability is installed (pure observation).
+        self.obs = None
+        self.host = -1
 
     def __len__(self) -> int:
         return len(self._items)
@@ -114,6 +128,13 @@ class UnexpectedQueue:
         self._items.append(msg)
         if len(self._items) > self.max_length:
             self.max_length = len(self._items)
+        if self.obs is not None:
+            msg.arrived_at = self.obs.now
+            if msg.trace is not None:
+                self.obs.emit(
+                    msg.trace, "match_wait", self.host,
+                    protocol=msg.protocol, depth=len(self._items),
+                )
 
     def match_receive(
         self, source: int, tag: int, remove: bool = True

@@ -109,6 +109,8 @@ class MpiWindow:
         self.sanitizer: Optional[WindowSanitizer] = (
             WindowSanitizer(_ctx, self.win_id, label) if _ctx is not None else None
         )
+        # Observability: puts carry trace ids; epoch waits record stalls.
+        self.obs = getattr(world.fabric, "obs", None)
 
     # ------------------------------------------------------------------
     # Creation (collective)
@@ -235,14 +237,18 @@ class MpiWindow:
         targets = set(targets)
         ep = self.world.endpoint(rank)
         yield self.env.timeout(ep.config.rma_sync_overhead)
+        t0 = self.env.now
         yield from self._await(rank, lambda: targets <= st.posts_seen)
+        if self.obs is not None:
+            self.obs.stall(rank, "epoch_start_wait", t0, self.env.now)
         st.posts_seen -= targets
         st.started_targets = targets
         st.pending_puts = 0
         if self.sanitizer is not None:
             self.sanitizer.on_epoch_start(rank)
 
-    def put(self, rank: int, target: int, nbytes: int, payload, offset: int = 0):
+    def put(self, rank: int, target: int, nbytes: int, payload,
+            offset: int = 0, trace: Optional[str] = None):
         """RDMA-put ``payload`` into our slot at ``target`` (MPI_Put)."""
         st = self._state[rank]
         if target not in st.started_targets:
@@ -265,10 +271,15 @@ class MpiWindow:
         ep = self.world.endpoint(rank)
         if self.sanitizer is not None:
             self.sanitizer.on_put(rank, target, offset, nbytes)
+        if self.obs is not None and trace is not None:
+            self.obs.emit(trace, "lib", rank,
+                          op="put", dst=target, bytes=nbytes)
         yield self.env.timeout(ep.config.rma_put_overhead)
         pkt = Packet(PacketType.RDMA, rank, target, -3, nbytes, payload=payload)
         pkt.meta["rkey"] = buf.rkey
         pkt.meta["offset"] = offset
+        if trace is not None:
+            pkt.meta["trace"] = trace
         st.pending_puts += 1
 
         def _acked() -> None:
@@ -290,7 +301,10 @@ class MpiWindow:
         ep = self.world.endpoint(rank)
         yield self.env.timeout(ep.config.rma_sync_overhead)
         if flush:
+            t0 = self.env.now
             yield from self._await(rank, lambda: st.pending_puts == 0)
+            if self.obs is not None:
+                self.obs.stall(rank, "epoch_flush_wait", t0, self.env.now)
         targets, st.started_targets = st.started_targets, set()
         if self.sanitizer is not None:
             self.sanitizer.on_epoch_complete(rank)
@@ -306,9 +320,12 @@ class MpiWindow:
         st = self._state[rank]
         ep = self.world.endpoint(rank)
         yield self.env.timeout(ep.config.rma_sync_overhead)
+        t0 = self.env.now
         yield from self._await(
             rank, lambda: st.exposed_to <= st.completes_seen
         )
+        if self.obs is not None:
+            self.obs.stall(rank, "epoch_close_wait", t0, self.env.now)
         received = []
         for origin in st.recv_order:
             buf = self._bufs.get((origin, rank))
@@ -336,7 +353,10 @@ class MpiWindow:
             raise MPIUsageError(
                 f"rank {rank}: origin {origin} not in exposure epoch"
             )
+        t0 = self.env.now
         yield from self._await(rank, lambda: origin in st.completes_seen)
+        if self.obs is not None:
+            self.obs.stall(rank, "epoch_collect_wait", t0, self.env.now)
         buf = self._bufs.get((origin, rank))
         if buf is None or not buf.contents:
             return None, 0

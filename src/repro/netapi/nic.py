@@ -138,9 +138,14 @@ class Nic:
         self._tx_outstanding += 1
         self.stats.counter("pkts_sent").add()
         self.stats.counter("bytes_sent").add(wire_bytes)
+        obs = self.fabric.obs
+        if obs is not None:
+            obs.on_inject(pkt)
 
         def _departed() -> None:
             self._tx_outstanding -= 1
+            if obs is not None:
+                obs.on_depart(pkt)
             if pkt.ptype is not PacketType.RDMA and on_local_complete:
                 on_local_complete()
 
@@ -152,9 +157,13 @@ class Nic:
             # Vanished in transit: the sender saw a clean departure, the
             # receiver sees nothing.  For RDMA the hardware completion is
             # lost with the packet — the classic lost-completion fault.
+            if obs is not None:
+                obs.on_drop(pkt)
             return True
 
         def _arrived() -> None:
+            if obs is not None:
+                obs.on_arrive(pkt, notify_target)
             if pkt.ptype is PacketType.RDMA:
                 self._complete_rdma(pkt, dst_nic)
                 if on_local_complete:
@@ -198,6 +207,9 @@ class Nic:
         self.rx_queue.append(pkt)
         self.stats.counter("pkts_received").add()
         self.stats.counter("bytes_received").add(pkt.wire_bytes)
+        obs = self.fabric.obs
+        if obs is not None:
+            obs.on_rx(pkt)
         if self._arrival_waiters:
             waiters, self._arrival_waiters = self._arrival_waiters, []
             for ev in waiters:
@@ -258,6 +270,10 @@ class Fabric:
         #: Optional :class:`repro.faults.FaultInjector`; ``None`` keeps
         #: every injection hook a no-op.
         self.faults = None
+        #: Optional :class:`repro.obs.ObsContext` (message-lifecycle
+        #: tracing + queue probes); ``None`` keeps every hook a no-op.
+        #: Pure observation — never advances time or mutates state.
+        self.obs = None
         self._nics = [
             Nic(env, self, h, machine.nic, StatRegistry(f"{stats_prefix}.nic{h}"))
             for h in range(num_hosts)

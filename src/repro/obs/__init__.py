@@ -1,0 +1,68 @@
+"""Observability: message-lifecycle tracing, queue probes, critical path.
+
+The package the reproduction uses to *explain* its numbers: every
+payload gets a deterministic trace id at the comm-layer API, stage
+events flow from the NIC, the MPI matching engine, the LCI server, and
+the comm layers, a sampler records queue-depth time series, and the
+critical-path analyzer attributes end-to-end latency to protocol
+stages (``repro run --obs`` / ``repro explain``).  See
+docs/OBSERVABILITY.md.
+"""
+
+from repro.obs.context import (
+    STAGES,
+    TERMINAL_STAGES,
+    MsgEvent,
+    ObsConfig,
+    ObsContext,
+    Stall,
+)
+from repro.obs.critical_path import (
+    MessageTimeline,
+    build_timelines,
+    explain_report,
+    format_stage_table,
+    round_attribution,
+    slowest,
+    stage_attribution,
+    stall_attribution,
+)
+from repro.obs.export import (
+    load_timeline,
+    save_chrome_trace,
+    save_prometheus,
+    save_timeline,
+    to_chrome_trace,
+    to_prometheus,
+)
+from repro.obs.validate import (
+    validate_chrome_trace,
+    validate_prometheus,
+    validate_timeline,
+)
+
+__all__ = [
+    "STAGES",
+    "TERMINAL_STAGES",
+    "MsgEvent",
+    "Stall",
+    "ObsConfig",
+    "ObsContext",
+    "MessageTimeline",
+    "build_timelines",
+    "stage_attribution",
+    "round_attribution",
+    "stall_attribution",
+    "slowest",
+    "explain_report",
+    "format_stage_table",
+    "save_timeline",
+    "load_timeline",
+    "to_chrome_trace",
+    "save_chrome_trace",
+    "to_prometheus",
+    "save_prometheus",
+    "validate_timeline",
+    "validate_chrome_trace",
+    "validate_prometheus",
+]

@@ -1,0 +1,181 @@
+"""Format validators for the observability exports (stdlib only).
+
+Used by the CI observability leg and ``repro explain --check``:
+each validator returns a list of human-readable problems (empty list
+means the document is well-formed).  These are schema/format checks,
+not semantic ones — the semantic invariants (stage sums telescoping to
+latency, bit-identical metrics) live in the test suite.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.obs.context import STAGES
+
+__all__ = [
+    "validate_timeline",
+    "validate_chrome_trace",
+    "validate_prometheus",
+]
+
+_KNOWN_STAGES = frozenset(STAGES)
+_CHROME_PHASES = frozenset("XisfCMbEnB")
+_PROM_METRIC = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_PROM_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?\s+"
+    r"(?P<value>[-+]?(?:\d+\.?\d*(?:[eE][-+]?\d+)?|\d*\.\d+(?:[eE][-+]?\d+)?|NaN|Inf|-Inf))$"
+)
+_PROM_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def validate_timeline(doc) -> List[str]:
+    """Check a JSON timeline document (`ObsContext.as_timeline` shape)."""
+    errs: List[str] = []
+    if not isinstance(doc, dict):
+        return ["timeline is not a JSON object"]
+    if doc.get("kind") != "repro-obs-timeline":
+        errs.append(f"kind is {doc.get('kind')!r}, expected 'repro-obs-timeline'")
+    if doc.get("version") != 1:
+        errs.append(f"unsupported version {doc.get('version')!r}")
+    if doc.get("columns") != ["trace", "stage", "host", "t", "args"]:
+        errs.append("columns do not match the v1 event row layout")
+    events = doc.get("events")
+    if not isinstance(events, list):
+        errs.append("events is not a list")
+        events = []
+    last_t = None
+    for i, row in enumerate(events):
+        if not (isinstance(row, list) and len(row) == 5):
+            errs.append(f"event {i}: not a 5-column row")
+            continue
+        trace, stage, host, t, args = row
+        if not (isinstance(trace, str) and trace):
+            errs.append(f"event {i}: bad trace id {trace!r}")
+        if stage not in _KNOWN_STAGES:
+            errs.append(f"event {i}: unknown stage {stage!r}")
+        if not isinstance(host, int):
+            errs.append(f"event {i}: host is not an int")
+        if not isinstance(t, (int, float)):
+            errs.append(f"event {i}: timestamp is not a number")
+        elif last_t is not None and t < last_t:
+            errs.append(f"event {i}: timestamps go backwards ({t} < {last_t})")
+        else:
+            last_t = t
+        if not isinstance(args, dict):
+            errs.append(f"event {i}: args is not an object")
+    for j, s in enumerate(doc.get("samples", []) or []):
+        if not isinstance(s, dict):
+            errs.append(f"sample {j}: not an object")
+            continue
+        for key in ("probe", "host", "times", "values"):
+            if key not in s:
+                errs.append(f"sample {j}: missing {key!r}")
+        if len(s.get("times", [])) != len(s.get("values", [])):
+            errs.append(f"sample {j}: times/values length mismatch")
+    for k, row in enumerate(doc.get("stalls", []) or []):
+        if not (isinstance(row, list) and len(row) == 4):
+            errs.append(f"stall {k}: not a 4-column row")
+            continue
+        _host, _kind, start, end = row
+        if not (isinstance(start, (int, float)) and isinstance(end, (int, float))):
+            errs.append(f"stall {k}: non-numeric interval")
+        elif end <= start:
+            errs.append(f"stall {k}: empty or negative interval")
+    return errs
+
+
+def validate_chrome_trace(doc) -> List[str]:
+    """Check Chrome trace-event JSON, including flow-event pairing."""
+    errs: List[str] = []
+    if not isinstance(doc, dict):
+        return ["trace is not a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is not a list"]
+    flow_starts = {}
+    flow_ends = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            errs.append(f"event {i}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _CHROME_PHASES:
+            errs.append(f"event {i}: unknown phase {ph!r}")
+            continue
+        if ph != "M" and not isinstance(ev.get("ts"), (int, float)):
+            errs.append(f"event {i}: ph={ph} missing numeric ts")
+        if ph == "X" and not isinstance(ev.get("dur"), (int, float)):
+            errs.append(f"event {i}: X span missing numeric dur")
+        if ph in ("s", "f"):
+            if "id" not in ev:
+                errs.append(f"event {i}: flow event missing id")
+                continue
+            bucket = flow_starts if ph == "s" else flow_ends
+            if ev["id"] in bucket:
+                errs.append(f"event {i}: duplicate flow {ph!r} id {ev['id']}")
+            bucket[ev["id"]] = ev
+        if ph == "M" and ev.get("name") not in (
+            "process_name", "process_sort_index", "thread_name",
+            "thread_sort_index",
+        ):
+            errs.append(f"event {i}: unknown metadata row {ev.get('name')!r}")
+    for fid in flow_starts:
+        if fid not in flow_ends:
+            errs.append(f"flow id {fid}: 's' without matching 'f'")
+    for fid in flow_ends:
+        if fid not in flow_starts:
+            errs.append(f"flow id {fid}: 'f' without matching 's'")
+        elif flow_ends[fid].get("bp") != "e":
+            errs.append(f"flow id {fid}: 'f' missing bp='e' binding point")
+        elif flow_ends[fid]["ts"] < flow_starts[fid]["ts"]:
+            errs.append(f"flow id {fid}: arrives before it departs")
+    return errs
+
+
+def validate_prometheus(text: str) -> List[str]:
+    """Check Prometheus exposition text (line grammar + TYPE coverage)."""
+    errs: List[str] = []
+    typed = set()
+    seen_lines = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] in ("TYPE", "HELP"):
+                if not _PROM_METRIC.match(parts[2]):
+                    errs.append(f"line {lineno}: bad metric name {parts[2]!r}")
+                if parts[1] == "TYPE":
+                    if parts[2] in typed:
+                        errs.append(
+                            f"line {lineno}: duplicate TYPE for {parts[2]!r}"
+                        )
+                    typed.add(parts[2])
+            else:
+                errs.append(f"line {lineno}: malformed comment {line!r}")
+            continue
+        m = _PROM_LINE.match(line)
+        if m is None:
+            errs.append(f"line {lineno}: not a valid sample line: {line!r}")
+            continue
+        name = m.group("name")
+        if name not in typed:
+            errs.append(f"line {lineno}: sample {name!r} precedes its TYPE")
+        labels = m.group("labels")
+        if labels is not None:
+            body = labels[1:-1]
+            consumed = ",".join(
+                f'{k}="{v}"' for k, v in _PROM_LABEL.findall(labels)
+            )
+            if body and consumed != body:
+                errs.append(f"line {lineno}: malformed labels {labels!r}")
+        key = (name, labels or "")
+        if key in seen_lines:
+            errs.append(f"line {lineno}: duplicate series {name}{labels or ''}")
+        seen_lines.add(key)
+    if not text.endswith("\n"):
+        errs.append("exposition must end with a newline")
+    return errs

@@ -14,10 +14,37 @@ The tracer is pure instrumentation: it never advances simulated time.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-__all__ = ["Span", "Tracer"]
+__all__ = ["Span", "Tracer", "atomic_write_json"]
+
+
+def atomic_write_json(path: str, obj) -> str:
+    """Write ``obj`` as JSON via temp-file + ``os.replace``.
+
+    An interrupted run can never leave a truncated/corrupt file at
+    ``path``: either the old contents survive or the new ones land
+    whole.  The temp file lives in the destination directory so the
+    replace stays on one filesystem (rename atomicity).
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w") as f:
+            json.dump(obj, f)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
 
 
 @dataclass
@@ -163,7 +190,9 @@ class Tracer:
                 "s": "p",
                 "args": i["args"],
             })
-        # Name the process rows after the hosts.
+        # Name and order the process rows after the hosts.  Metadata is
+        # emitted in sorted (pid, name) order so the export is stable
+        # for golden-file comparisons.
         hosts = sorted({s.host for s in self._spans}
                        | {i["host"] for i in self._instants})
         for h in hosts:
@@ -173,12 +202,17 @@ class Tracer:
                 "name": "process_name",
                 "args": {"name": f"host {h}"},
             })
+            events.append({
+                "ph": "M",
+                "pid": h,
+                "name": "process_sort_index",
+                "args": {"sort_index": h},
+            })
         return {"traceEvents": events, "displayTimeUnit": "ns"}
 
     def save(self, path: str) -> str:
-        with open(path, "w") as f:
-            json.dump(self.to_chrome_trace(), f)
-        return path
+        """Write the Chrome trace atomically (temp file + replace)."""
+        return atomic_write_json(path, self.to_chrome_trace())
 
     def __len__(self) -> int:
         return len(self._spans)

@@ -135,6 +135,63 @@ def test_registry_reset():
     assert r.peak_value("m") == 0
 
 
+def test_registry_reset_drops_series_but_keeps_counter_objects():
+    """reset() semantics the obs sampler relies on: counters and peak
+    trackers are reset *in place* (holders keep valid references), while
+    TimeSeries objects are dropped entirely — a later series() call
+    returns a fresh, empty object."""
+    r = StatRegistry("h")
+    c = r.counter("msgs")
+    p = r.peak("mem")
+    s = r.series("depth")
+    c.add(7)
+    p.add(100)
+    p.sub(40)
+    s.record(0.0, 3.0)
+    r.reset()
+    # Same objects, zeroed.
+    assert r.counter("msgs") is c and c.value == 0
+    assert r.peak("mem") is p and p.peak == 0 and p.current == 0
+    # Series object was dropped, not emptied.
+    s2 = r.series("depth")
+    assert s2 is not s
+    assert len(s2) == 0
+    # The stale reference still holds the pre-reset samples (detached).
+    assert s.items() == [(0.0, 3.0)]
+
+
+def test_registry_snapshot_series_keys_and_reset_interaction():
+    r = StatRegistry("x")
+    r.series("q").record(0.0, 2.0)
+    r.series("q").record(1.0, 4.0)
+    snap = r.snapshot()
+    assert snap["x.q.total"] == 6.0
+    assert snap["x.q.n"] == 2
+    r.reset()
+    snap2 = r.snapshot()
+    # Dropped series vanish from the snapshot; they do not linger as 0s.
+    assert "x.q.total" not in snap2
+    assert "x.q.n" not in snap2
+
+
+def test_registry_snapshot_peak_reports_both_peak_and_current():
+    r = StatRegistry()
+    r.peak("buf").add(64)
+    r.peak("buf").sub(16)
+    snap = r.snapshot()
+    assert snap["buf.peak"] == 64
+    assert snap["buf.current"] == 48
+
+
+def test_geometric_mean_error_messages():
+    with pytest.raises(ValueError, match="empty"):
+        geometric_mean([])
+    with pytest.raises(ValueError, match="positive"):
+        geometric_mean([2.0, -3.0])
+    with pytest.raises(ValueError, match="positive"):
+        geometric_mean(iter([0.0]))
+
+
 # ---------------------------------------------------------------------------
 # RngFactory
 # ---------------------------------------------------------------------------

@@ -603,7 +603,8 @@ def test_cli_run_exits_3_on_warn_mode_violations(monkeypatch, capsys):
         def run(self):
             return FakeMetrics()
 
-    monkeypatch.setattr(cli, "build_engine", lambda sc, tracer=None: FakeEngine())
+    monkeypatch.setattr(cli, "build_engine",
+                        lambda sc, tracer=None, obs=None: FakeEngine())
     assert cli.main(["run", "--sanitize"]) == SANITIZER_EXIT_CODE
     assert "lci.packet_leak" in capsys.readouterr().err
 
@@ -617,6 +618,7 @@ def test_cli_run_exits_3_on_sanitizer_error(monkeypatch, capsys):
             raise SanitizerError(Violation(
                 "mpi.rma_overlapping_put", 0, 0.0, "planted race"))
 
-    monkeypatch.setattr(cli, "build_engine", lambda sc, tracer=None: FakeEngine())
+    monkeypatch.setattr(cli, "build_engine",
+                        lambda sc, tracer=None, obs=None: FakeEngine())
     assert cli.main(["run", "--sanitize", "raise"]) == SANITIZER_EXIT_CODE
     assert "planted race" in capsys.readouterr().err

@@ -1,6 +1,7 @@
 """Tests for the execution tracer and its engine integration."""
 
 import json
+import os
 
 import pytest
 
@@ -76,6 +77,41 @@ def test_chrome_trace_export(tmp_path):
     assert len(x) == 1 and x[0]["dur"] == pytest.approx(1.0)  # us
     assert len(i) == 1 and i[0]["name"] == "barrier"
     assert {e["pid"] for e in m} == {0, 1}
+
+
+def test_metadata_rows_sorted_and_complete():
+    tr = Tracer()
+    tr.record(2, "compute", "r0", 0.0, 1e-6)
+    tr.record(0, "compute", "r0", 0.0, 1e-6)
+    tr.record(1, "compute", "r0", 0.0, 1e-6)
+    m = [e for e in tr.to_chrome_trace()["traceEvents"] if e["ph"] == "M"]
+    # process_name + process_sort_index per host, in ascending host order.
+    hosts = [e["pid"] for e in m if e["name"] == "process_name"]
+    assert hosts == [0, 1, 2]
+    sort_rows = [e for e in m if e["name"] == "process_sort_index"]
+    assert [e["args"]["sort_index"] for e in sort_rows] == [0, 1, 2]
+
+
+def test_save_is_atomic(tmp_path):
+    """save() replaces the destination in one step: a crashed or raced
+    writer can never leave a truncated JSON behind."""
+    tr = Tracer()
+    tr.record(0, "compute", "r0", 0.0, 1e-6)
+    path = tmp_path / "trace.json"
+    path.write_text("stale-but-parseable-must-survive-until-replace")
+    tr.save(str(path))
+    with open(path) as f:
+        json.load(f)  # fully written
+    assert os.listdir(tmp_path) == ["trace.json"]  # no temp droppings
+
+
+def test_atomic_write_json_cleans_up_on_failure(tmp_path):
+    from repro.sim.trace import atomic_write_json
+
+    path = tmp_path / "out.json"
+    with pytest.raises(TypeError):
+        atomic_write_json(str(path), {"bad": object()})
+    assert os.listdir(tmp_path) == []
 
 
 def test_engine_emits_spans():
