@@ -83,7 +83,8 @@ def run_scenario(sc: Scenario) -> RunMetrics:
 
 
 def build_engine(
-    sc: Scenario, tracer=None, fault_plan=None, obs=None
+    sc: Scenario, tracer=None, fault_plan=None, obs=None, *,
+    app=None, graph=None, partition=None,
 ) -> BspEngine:
     """Construct the (unrun) engine for a scenario.
 
@@ -93,20 +94,30 @@ def build_engine(
     message-lifecycle tracing.  Callers that need the engine afterwards —
     for ``assemble_global`` or injector statistics — use this instead of
     :func:`run_scenario`.
+
+    The keyword-only overrides serve long-lived callers
+    (:class:`repro.serve.ServeEngine`): ``app`` substitutes an
+    already-constructed :class:`~repro.engine.VertexProgram` (the
+    scenario's ``app`` field is then only a label), ``graph`` substitutes
+    a resident graph for the generated one, and ``partition`` passes a
+    resident partition through to :class:`BspEngine` so repeated
+    executions skip repartitioning.
     """
     if sc.system not in ("abelian", "gemini"):
         raise ValueError(f"unknown system {sc.system!r}")
     machine = MACHINE_PRESETS[sc.machine]
-    weights = sc.app == "sssp"
-    graph = cached_graph(sc.graph, sc.scale, sc.seed, weights)
+    if graph is None:
+        weights = sc.app == "sssp"
+        graph = cached_graph(sc.graph, sc.scale, sc.seed, weights)
 
-    app_kwargs = {}
-    if sc.app == "pagerank":
-        app_kwargs["max_rounds"] = sc.pagerank_rounds
-        app_kwargs["tol"] = 1e-12
-    elif sc.app == "kcore":
-        app_kwargs["k"] = sc.kcore_k
-    app = make_app(sc.app, **app_kwargs)
+    if app is None:
+        app_kwargs = {}
+        if sc.app == "pagerank":
+            app_kwargs["max_rounds"] = sc.pagerank_rounds
+            app_kwargs["tol"] = 1e-12
+        elif sc.app == "kcore":
+            app_kwargs["k"] = sc.kcore_k
+        app = make_app(sc.app, **app_kwargs)
 
     mpi_config = MPI_PRESETS[sc.mpi_impl]
     if sc.machine == "stampede1":
@@ -150,4 +161,4 @@ def build_engine(
         sanitize=sc.sanitize,
         obs=obs,
     )
-    return BspEngine(graph, app, cfg)
+    return BspEngine(graph, app, cfg, partition=partition)

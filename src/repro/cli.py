@@ -13,6 +13,11 @@
     python -m repro run ... --obs obs.json [--obs-chrome t.json] \\
         [--obs-prom m.prom]
     python -m repro explain obs.json [--check] [--top 5] [--per-round]
+    python -m repro serve --scale 10 --hosts 4 --layer lci \\
+        [--tape tape.json | --tape-queries 48 --tape-seed 7] \\
+        [--fault-plan drop-5pct] [--report report.json]
+    python -m repro bench-serve [--out BENCH_serve.json] \\
+        [--check BENCH_serve.json]
 
 Each subcommand prints the same tables the benchmark harness produces.
 
@@ -150,6 +155,61 @@ def build_parser() -> argparse.ArgumentParser:
     inputs.add_argument("--scale", type=int, default=14)
 
     sub.add_parser("calibrate", help="model-calibration report")
+
+    serve = sub.add_parser(
+        "serve",
+        help="long-lived query service: serve a traffic tape against a "
+             "resident graph",
+    )
+    serve.add_argument("--graph", default="rmat",
+                       choices=["rmat", "kron", "webcrawl"])
+    serve.add_argument("--scale", type=int, default=10)
+    serve.add_argument("--hosts", type=int, default=4)
+    serve.add_argument("--layer", default="lci", choices=list(LAYER_NAMES))
+    serve.add_argument("--system", default="abelian",
+                       choices=["abelian", "gemini"])
+    serve.add_argument("--machine", default="stampede2",
+                       choices=["stampede2", "stampede1"])
+    serve.add_argument("--seed", type=int, default=1)
+    serve.add_argument("--max-batch", type=int, default=8,
+                       help="max queries fused into one batched execution")
+    serve.add_argument("--ppr-rounds", type=int, default=10)
+    serve.add_argument("--tape", metavar="PATH",
+                       help="replay a saved tape JSON instead of "
+                            "generating one")
+    serve.add_argument("--tape-queries", type=int, default=48,
+                       help="generated tape length")
+    serve.add_argument("--tape-seed", type=int, default=7)
+    serve.add_argument("--tape-gap", type=float, default=2e-4,
+                       help="mean inter-arrival gap in simulated seconds")
+    serve.add_argument("--save-tape", metavar="PATH",
+                       help="write the (generated or replayed) tape JSON")
+    serve.add_argument("--report", metavar="PATH",
+                       help="write the full service report JSON")
+    serve.add_argument("--fault-plan", default=None,
+                       help="serve under a named fault plan "
+                            "(graceful degradation)")
+    serve.add_argument("--fault-seed", type=int, default=None)
+    serve.add_argument("--sanitize", nargs="?", const="warn",
+                       choices=["warn", "raise"], default=None,
+                       help="arm the protocol sanitizers for every batch")
+    serve.add_argument("--obs", nargs="?", const="obs-serve.json",
+                       metavar="PATH",
+                       help="write the last executed batch's "
+                            "observability timeline JSON")
+    serve.add_argument("--obs-prom", metavar="PATH",
+                       help="also export service latency + obs metrics "
+                            "in Prometheus text format (implies --obs)")
+
+    bench_serve = sub.add_parser(
+        "bench-serve",
+        help="deterministic serve benchmark (BENCH_serve.json)",
+    )
+    bench_serve.add_argument("--out", metavar="PATH",
+                             help="write the benchmark document here")
+    bench_serve.add_argument("--check", metavar="PATH",
+                             help="compare against a committed document; "
+                                  "exit 1 on drift")
 
     lint = sub.add_parser(
         "lint", help="static determinism lint over the simulation sources"
@@ -384,6 +444,138 @@ def _cmd_calibrate(_args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_serve(args) -> int:
+    import json
+
+    from repro.serve import (
+        ServeConfig,
+        ServeEngine,
+        TapeSpec,
+        format_serve_report,
+        generate_tape,
+        tape_from_json,
+        tape_to_json,
+    )
+
+    if args.tape:
+        try:
+            with open(args.tape) as fh:
+                spec, queries = tape_from_json(fh.read())
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load tape {args.tape}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if spec.scale > args.scale:
+            print(f"error: tape draws sources from scale {spec.scale} "
+                  f"but the resident graph is scale {args.scale}",
+                  file=sys.stderr)
+            return 2
+    else:
+        spec = TapeSpec(
+            seed=args.tape_seed, num_queries=args.tape_queries,
+            scale=args.scale, mean_gap=args.tape_gap,
+        )
+        queries = generate_tape(spec)
+
+    obs_path = args.obs
+    obs_config = None
+    if obs_path or args.obs_prom:
+        from repro.obs import ObsConfig
+        obs_config = ObsConfig()
+        if obs_path is None:
+            obs_path = "obs-serve.json"
+
+    config = ServeConfig(
+        graph=args.graph, scale=args.scale, hosts=args.hosts,
+        layer=args.layer, system=args.system, machine=args.machine,
+        seed=args.seed, max_batch=args.max_batch,
+        ppr_rounds=args.ppr_rounds, fault_plan=args.fault_plan,
+        fault_seed=args.fault_seed, sanitize=args.sanitize,
+    )
+    try:
+        engine = ServeEngine(config, obs_config=obs_config)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        report = engine.drain(queries)
+    except SanitizerError as exc:
+        print(f"sanitizer violation: {exc}", file=sys.stderr)
+        return SANITIZER_EXIT_CODE
+
+    if args.save_tape:
+        with open(args.save_tape, "w") as fh:
+            fh.write(tape_to_json(spec, queries))
+        print(f"tape written to {args.save_tape}")
+    if args.report:
+        with open(args.report, "w") as fh:
+            json.dump(report.as_dict(), fh, sort_keys=True, indent=2)
+            fh.write("\n")
+        print(f"report written to {args.report}")
+    if obs_config is not None and engine.last_obs is not None:
+        from repro.obs import save_prometheus, save_timeline
+
+        timeline = engine.last_obs.as_timeline(meta={
+            "scenario": f"serve/{args.graph}{args.scale}"
+                        f"@{args.hosts}h/{args.layer}",
+            "layer": args.layer, "hosts": args.hosts,
+        })
+        save_timeline(obs_path, timeline)
+        print(f"obs timeline written to {obs_path} "
+              f"({len(timeline['events'])} events)")
+        if args.obs_prom:
+            save_prometheus(args.obs_prom, timeline)
+            with open(args.obs_prom, "a") as fh:
+                lat_lines = report.latency_summary().prometheus_lines(
+                    "repro_serve_query_latency_seconds"
+                )
+                fh.write("\n".join(lat_lines) + "\n")
+            print(f"obs prometheus metrics written to {args.obs_prom}")
+    print(format_serve_report(report))
+    if report.sanitizer_violations:
+        print(format_violations(report.sanitizer_violations),
+              file=sys.stderr)
+        return SANITIZER_EXIT_CODE
+    return 0
+
+
+def _cmd_bench_serve(args) -> int:
+    import json
+
+    from repro.bench.serve_bench import (
+        bench_doc_to_json,
+        check_against_file,
+        serve_benchmark,
+    )
+
+    doc = serve_benchmark()
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(bench_doc_to_json(doc))
+        print(f"benchmark written to {args.out}")
+    serve_doc = doc["serve"]
+    print(f"serve: {serve_doc['throughput']['queries_per_sec']} queries/s, "
+          f"p50 {serve_doc['latency']['p50_us']}us, "
+          f"p95 {serve_doc['latency']['p95_us']}us, "
+          f"p99 {serve_doc['latency']['p99_us']}us, "
+          f"{serve_doc['throughput']['messages_per_sec']} msgs/s")
+    if args.check:
+        diffs = check_against_file(doc, args.check)
+        if diffs is None:
+            print(f"error: cannot read committed benchmark {args.check}",
+                  file=sys.stderr)
+            return 1
+        if diffs:
+            for d in diffs[:20]:
+                print(f"benchmark drift: {d}", file=sys.stderr)
+            print(f"{len(diffs)} mismatch(es) vs {args.check}; regenerate "
+                  f"with `repro bench-serve --out {args.check}` if the "
+                  "change is intended", file=sys.stderr)
+            return 1
+        print(f"matches committed {args.check}")
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.sanitize.lint import (
         format_findings,
@@ -411,6 +603,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "micro": _cmd_micro,
         "inputs": _cmd_inputs,
         "calibrate": _cmd_calibrate,
+        "serve": _cmd_serve,
+        "bench-serve": _cmd_bench_serve,
         "lint": _cmd_lint,
     }[args.command]
     return handler(args)

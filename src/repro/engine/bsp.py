@@ -107,12 +107,21 @@ class EngineConfig:
 
 
 class BspEngine:
-    """Runs one vertex program on one partitioned graph."""
+    """Runs one vertex program on one partitioned graph.
 
-    def __init__(self, graph: CsrGraph, app: VertexProgram, config: EngineConfig):
+    ``partition`` lets a long-lived caller (the serve layer) keep one
+    partitioned graph *resident* and amortize the partitioning cost over
+    many executions: when given, ``graph`` must already be in the form
+    the program needs (symmetrized for ``needs_symmetric`` apps) and
+    must be the graph the partition was built from — the engine skips
+    both the symmetrize step and :func:`make_partition`.
+    """
+
+    def __init__(self, graph: CsrGraph, app: VertexProgram,
+                 config: EngineConfig, partition: Optional[Partition] = None):
         self.app = app
         self.config = config
-        if app.needs_symmetric:
+        if partition is None and app.needs_symmetric:
             graph = symmetrize(graph)
         if app.needs_weights and graph.edge_data is None:
             raise ValueError(
@@ -120,9 +129,17 @@ class BspEngine:
                 "weights=True"
             )
         self.graph = graph
-        self.partition: Partition = make_partition(
-            graph, config.num_hosts, config.policy
-        )
+        if partition is not None:
+            if partition.num_hosts != config.num_hosts:
+                raise ValueError(
+                    f"resident partition spans {partition.num_hosts} hosts "
+                    f"but the engine is configured for {config.num_hosts}"
+                )
+            self.partition: Partition = partition
+        else:
+            self.partition = make_partition(
+                graph, config.num_hosts, config.policy
+            )
         self.env = Environment()
         self.fabric = Fabric(self.env, config.num_hosts, config.machine)
         # Sanitizers ride on the fabric (like the fault injector) so the
@@ -391,24 +408,42 @@ class BspEngine:
             dirty[my_ids(sp)] = False
         yield from layer.flush(phase)
 
-        # Scatter arrivals as they come (arbitrary order).
+        # Scatter arrivals as they come (arbitrary order).  Programs with
+        # ``ordered_scatter`` defer the *application* of values until the
+        # phase's last blob arrived and then apply in source-host order —
+        # costs are still charged at arrival time, so the schedule (and
+        # every timing metric) is identical; only the floating-point
+        # reduction order becomes canonical.
         pair_by_src = {in_peer(sp): sp for sp in in_pairs}
         pending = set(in_hosts)
         cold = cpu.cold_read_factor if layer.receive_buffer_cold else 1.0
+        deferred = [] if app.ordered_scatter else None
         while pending:
             batch = yield from layer.collect_some(phase, pending)
             scatter_cost = 0.0
             for src, blob in batch:
                 sp = pair_by_src[src]
                 ids = their_ids(sp)[blob.positions]
+                if deferred is not None:
+                    deferred.append((src, blob, sp))
+                else:
+                    if len(ids):
+                        changed = apply_values(state, ids, blob.values)
+                        if is_reduce and app.label_is_broadcast_field and dirty_bcast is not None:
+                            dirty_bcast[ids[changed]] = True
+                    layer.consume(blob)
+                scatter_cost += unpack_cost(cpu, len(ids), blob.nbytes) * cold
+            if scatter_cost > 0:
+                yield env.charged_timeout(scatter_cost / threads, actor=h)
+        if deferred is not None:
+            deferred.sort(key=lambda item: item[0])
+            for _src, blob, sp in deferred:
+                ids = their_ids(sp)[blob.positions]
                 if len(ids):
                     changed = apply_values(state, ids, blob.values)
                     if is_reduce and app.label_is_broadcast_field and dirty_bcast is not None:
                         dirty_bcast[ids[changed]] = True
-                scatter_cost += unpack_cost(cpu, len(ids), blob.nbytes) * cold
                 layer.consume(blob)
-            if scatter_cost > 0:
-                yield env.charged_timeout(scatter_cost / threads, actor=h)
         yield from layer.phase_end(phase)
 
     # ------------------------------------------------------------------
@@ -473,12 +508,17 @@ class BspEngine:
 
     # ------------------------------------------------------------------
     def assemble_global(self) -> np.ndarray:
-        """Collect the canonical per-node result from all masters."""
+        """Collect the canonical per-node result from all masters.
+
+        Shape ``(num_nodes,)`` for scalar-label programs; multi-source
+        programs (label matrices) yield ``(num_nodes, K)`` — one column
+        per batched query.
+        """
         n = self.graph.num_nodes
         sample = self.app.extract_masters(
             self.partition.local(0), self.states[0]
         )
-        out = np.zeros(n, dtype=sample.dtype)
+        out = np.zeros((n,) + sample.shape[1:], dtype=sample.dtype)
         for h in range(self.config.num_hosts):
             lg = self.partition.local(h)
             vals = self.app.extract_masters(lg, self.states[h])

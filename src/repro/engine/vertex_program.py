@@ -28,7 +28,7 @@ import numpy as np
 from repro.graph.csr import CsrGraph
 from repro.graph.partition.proxies import LocalGraph
 
-__all__ = ["ComputeResult", "VertexProgram"]
+__all__ = ["ComputeResult", "VertexProgram", "min_relax", "min_relax_multi"]
 
 
 @dataclass
@@ -63,6 +63,15 @@ class VertexProgram:
     #: compute writes partial sums and only post_reduce changes the
     #: broadcast field (contrib).  Drives the engine's dirty tracking.
     label_is_broadcast_field: bool = True
+    #: True when incoming sync blobs must be *applied* in a canonical
+    #: order (sorted by source host) instead of arrival order.  Needed by
+    #: floating-point add-reduce programs whose results must be
+    #: bit-reproducible across schedules (the serve layer's batched
+    #: personalized PageRank): float addition is not associative, so the
+    #: apply order changes the result bits.  The engine still *charges*
+    #: scatter costs at arrival time — this reorders values only, never
+    #: simulated time.
+    ordered_scatter: bool = False
 
     # ------------------------------------------------------------------
     def init_state(self, lg: LocalGraph, graph: CsrGraph) -> Dict[str, np.ndarray]:
@@ -151,4 +160,46 @@ def min_relax(
     changed = dst[label[dst] < before]
     return ComputeResult(
         np.unique(changed), int(len(dst)), int(len(active_ids))
+    )
+
+
+def min_relax_multi(
+    lg: LocalGraph,
+    label: np.ndarray,
+    active: np.ndarray,
+    cand_fn,
+) -> ComputeResult:
+    """Multi-source variant of :func:`min_relax` over a label *matrix*.
+
+    ``label`` has shape ``(num_local, K)`` — one column per concurrently
+    running query — and ``active`` is the **merged frontier**: the union
+    of the per-column frontiers.  Every out-edge of every active source
+    is relaxed for all K columns at once (``cand_fn`` returns an
+    ``(E, K)`` candidate matrix), so a batch shares one edge traversal,
+    one round structure, and one set of sync messages.
+
+    Per-column results are exactly what K separate :func:`min_relax`
+    executions converge to: relaxing an edge for a column whose source
+    label is the INF sentinel proposes ``INF + delta``, which never
+    beats a real label, and min is idempotent — the fixed point of each
+    column is untouched by the other columns' frontiers.
+    """
+    active_ids = np.where(active)[0]
+    K = label.shape[1]
+    if len(active_ids) == 0:
+        return ComputeResult(np.empty(0, dtype=np.int64), 0, 0)
+    degs = np.diff(lg.indptr)
+    edge_sel = np.repeat(active, degs)
+    dst = lg.indices[edge_sel]
+    if len(dst) == 0:
+        return ComputeResult(
+            np.empty(0, dtype=np.int64), 0, len(active_ids)
+        )
+    src = lg.edge_sources()[edge_sel]
+    cand = cand_fn(src, edge_sel)
+    before = label[dst]
+    np.minimum.at(label, dst, cand)
+    changed = dst[np.any(label[dst] < before, axis=1)]
+    return ComputeResult(
+        np.unique(changed), int(len(dst)) * K, int(len(active_ids))
     )

@@ -34,7 +34,14 @@ from repro.mpi.exceptions import MPIError
 from repro.sanitize.runtime import format_violations
 from repro.sim.engine import SimulationError
 
-__all__ = ["ChaosReport", "run_chaos", "format_chaos_report"]
+__all__ = [
+    "ChaosReport",
+    "run_chaos",
+    "format_chaos_report",
+    "ServeChaosReport",
+    "run_serve_chaos",
+    "format_serve_chaos_report",
+]
 
 #: Recovery-protocol counters surfaced in the report.
 RECOVERY_COUNTERS = (
@@ -164,6 +171,118 @@ def run_chaos(
         # faulted run hung or crashed before producing metrics.
         sanitizer_violations.extend(engine.sanitizer_ctx.as_dicts())
     return report
+
+
+# ----------------------------------------------------------------------
+# Serve-mode chaos: graceful degradation of the query service
+# ----------------------------------------------------------------------
+@dataclass
+class ServeChaosReport:
+    """One traffic tape served fault-free vs. under a fault plan.
+
+    The service's resilience contract is *graceful degradation*: a
+    fault that hangs or crashes a batch fails only that batch's queries
+    — the service keeps draining the tape, and every query it does
+    answer matches the fault-free answer.
+    """
+
+    plan: str
+    #: Query status counts {status: count} for each run.
+    baseline_counts: Dict[str, int] = field(default_factory=dict)
+    faulted_counts: Dict[str, int] = field(default_factory=dict)
+    #: Queries answered OK in *both* runs whose answers differ (silent
+    #: corruption; must be 0).
+    answer_mismatches: int = 0
+    #: Queries the faulted run failed or shed that the baseline served.
+    shed: int = 0
+    baseline_clock: float = 0.0
+    faulted_clock: float = 0.0
+
+    @property
+    def graceful(self) -> bool:
+        """Served the whole tape with zero silent corruption."""
+        return self.answer_mismatches == 0
+
+    @property
+    def overhead(self) -> float:
+        if self.baseline_clock <= 0:
+            return 0.0
+        return self.faulted_clock / self.baseline_clock - 1.0
+
+
+def run_serve_chaos(config, tape_spec, plan,
+                    fault_seed: Optional[int] = None) -> ServeChaosReport:
+    """Serve one tape on two fresh services: fault-free, then faulted.
+
+    ``config`` is a :class:`repro.serve.ServeConfig` (its own
+    ``fault_plan`` field is ignored), ``tape_spec`` a
+    :class:`repro.serve.TapeSpec`.  Deterministic end to end: both
+    services see the identical query stream.
+    """
+    from dataclasses import replace
+
+    from repro.serve import ServeEngine, generate_tape
+
+    plan = get_plan(plan, fault_seed)
+    queries = generate_tape(tape_spec)
+
+    base = ServeEngine(replace(config, fault_plan=None))
+    base_report = base.drain(list(queries))
+    faulted = ServeEngine(replace(config, fault_plan=None))
+    # The resolver already ran; install the plan object directly so
+    # unnamed plans work too.
+    faulted._plan = None if plan.empty else plan
+    fault_report = faulted.drain(list(queries))
+
+    def counts(report) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for r in report.results:
+            out[r.status] = out.get(r.status, 0) + 1
+        return out
+
+    base_by_qid = {r.query.qid: r for r in base_report.results}
+    mismatches = 0
+    shed = 0
+    for r in fault_report.results:
+        b = base_by_qid[r.query.qid]
+        if r.status != "ok":
+            if b.status == "ok":
+                shed += 1
+            continue
+        if b.status != "ok" or b.answer is None or r.answer is None:
+            continue
+        if np.issubdtype(r.answer.dtype, np.floating):
+            same = np.allclose(r.answer, b.answer, rtol=1e-9, atol=0)
+        else:
+            same = np.array_equal(r.answer, b.answer)
+        if not same:
+            mismatches += 1
+    return ServeChaosReport(
+        plan=plan.name or plan.describe(),
+        baseline_counts=counts(base_report),
+        faulted_counts=counts(fault_report),
+        answer_mismatches=mismatches,
+        shed=shed,
+        baseline_clock=base_report.clock,
+        faulted_clock=fault_report.clock,
+    )
+
+
+def format_serve_chaos_report(report: ServeChaosReport) -> str:
+    def fmt(c: Dict[str, int]) -> str:
+        return ", ".join(f"{k}={c[k]}" for k in sorted(c))
+
+    return "\n".join([
+        f"plan      : {report.plan}",
+        f"baseline  : {fmt(report.baseline_counts)} "
+        f"in {report.baseline_clock * 1e3:.3f} ms",
+        f"faulted   : {fmt(report.faulted_counts)} "
+        f"in {report.faulted_clock * 1e3:.3f} ms "
+        f"({report.overhead * 100:+.1f}%)",
+        f"shed      : {report.shed} queries lost to faults",
+        f"mismatches: {report.answer_mismatches} "
+        f"(graceful={'yes' if report.graceful else 'NO'})",
+    ])
 
 
 def format_chaos_report(report: ChaosReport) -> str:

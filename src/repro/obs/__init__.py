@@ -35,6 +35,7 @@ from repro.obs.export import (
     to_chrome_trace,
     to_prometheus,
 )
+from repro.obs.latency import LatencySummary, percentile_nearest_rank
 from repro.obs.validate import (
     validate_chrome_trace,
     validate_prometheus,
@@ -65,4 +66,6 @@ __all__ = [
     "validate_timeline",
     "validate_chrome_trace",
     "validate_prometheus",
+    "LatencySummary",
+    "percentile_nearest_rank",
 ]

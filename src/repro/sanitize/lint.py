@@ -17,8 +17,9 @@ D102   the global ``random`` module / ``numpy.random`` module-level
        named-stream :class:`repro.sim.rng.RngFactory` API
 D103   iteration over ``set``/``frozenset`` values in the
        ordering-sensitive modules (``sim/``, ``netapi/``, ``lci/``,
-       ``mpi/``, ``comm/``, ``faults/``) — Python set order depends
-       on insertion history and hash seeds, so event order leaks
+       ``mpi/``, ``comm/``, ``faults/``, ``serve/``) — Python set
+       order depends on insertion history and hash seeds, so event
+       order leaks
 D104   ``os.environ``/``os.getenv`` in ordering-sensitive modules —
        simulation behavior must never branch on the environment
 D105   floating-point accumulation (``sum``/``math.fsum``) over an
@@ -66,8 +67,12 @@ RULES: Dict[str, str] = {
 }
 
 #: Package subdirectories whose event/iteration order feeds simulated
-#: time: anything nondeterministic here changes the run.
-ORDER_SENSITIVE_DIRS = ("sim", "netapi", "lci", "mpi", "comm", "faults")
+#: time: anything nondeterministic here changes the run.  ``serve`` is
+#: here because the query scheduler's decisions (batch composition,
+#: admission, cache order) feed the service clock and the tape-replay
+#: byte-identity guarantee.
+ORDER_SENSITIVE_DIRS = ("sim", "netapi", "lci", "mpi", "comm", "faults",
+                        "serve")
 
 _WALL_CLOCK = {
     "time.time", "time.time_ns",

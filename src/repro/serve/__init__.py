@@ -1,0 +1,52 @@
+"""The graph-analytics query service (``repro serve``).
+
+A production-shaped layer over the reproduction's BSP engine: one
+resident partitioned graph, a stream of BFS / SSSP / personalized
+PageRank / k-core queries, a scheduler that fuses concurrent same-kind
+queries into multi-source batched executions, a per-graph-version
+result cache, admission control driven by fabric saturation, and
+seeded replayable traffic tapes.  See docs/SERVE.md.
+"""
+
+from repro.serve.admission import AdmissionConfig, AdmissionController
+from repro.serve.cache import ResultCache
+from repro.serve.engine import (
+    ServeConfig,
+    ServeEngine,
+    ServeReport,
+    format_serve_report,
+)
+from repro.serve.programs import (
+    MultiSourceBfs,
+    MultiSourcePageRank,
+    MultiSourceSssp,
+    make_batched_program,
+)
+from repro.serve.query import QUERY_KINDS, Query, QueryResult
+from repro.serve.tape import (
+    TapeSpec,
+    generate_tape,
+    tape_from_json,
+    tape_to_json,
+)
+
+__all__ = [
+    "QUERY_KINDS",
+    "Query",
+    "QueryResult",
+    "MultiSourceBfs",
+    "MultiSourceSssp",
+    "MultiSourcePageRank",
+    "make_batched_program",
+    "ResultCache",
+    "AdmissionConfig",
+    "AdmissionController",
+    "TapeSpec",
+    "generate_tape",
+    "tape_to_json",
+    "tape_from_json",
+    "ServeConfig",
+    "ServeEngine",
+    "ServeReport",
+    "format_serve_report",
+]

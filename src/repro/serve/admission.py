@@ -1,0 +1,111 @@
+"""Admission control and backpressure for the query service.
+
+A long-lived service has to shed load *before* the backlog melts the
+latency tail.  The controller applies two gates at a query's arrival
+instant:
+
+* **queue-depth gate** — a hard bound on pending (admitted but not yet
+  completed) queries; beyond it every arrival is rejected outright.
+* **saturation gate** — an EWMA of the simulated fabric's *communication
+  fraction* (non-overlapped comm seconds / total seconds, per executed
+  batch, straight from :class:`~repro.engine.metrics.RunMetrics`).  When
+  the fabric spends most of its time on the wire, extra concurrency only
+  deepens queues, so arrivals are rejected once the EWMA crosses the
+  threshold — but only while a minimum backlog exists, so an idle
+  service never rejects the first queries after a congested burst.
+
+Both gates are pure functions of the deterministic simulation, so the
+same tape always produces the same reject set — asserted by the tape
+replay tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["AdmissionConfig", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Knobs of the two admission gates."""
+
+    #: Hard bound on admitted-but-incomplete queries.
+    max_pending: int = 64
+    #: Reject when the comm-fraction EWMA exceeds this...
+    saturation_threshold: float = 0.92
+    #: ...but only while at least this many queries are pending.
+    saturation_min_pending: int = 8
+    #: EWMA smoothing factor for the saturation estimate.
+    ewma_alpha: float = 0.3
+
+    def __post_init__(self):
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if not 0.0 < self.saturation_threshold <= 1.0:
+            raise ValueError("saturation_threshold must be in (0, 1]")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+
+
+class AdmissionController:
+    """Stateful gatekeeper; one per :class:`~repro.serve.ServeEngine`."""
+
+    def __init__(self, config: AdmissionConfig = AdmissionConfig()):
+        self.config = config
+        #: Comm-fraction EWMA; starts optimistic (no congestion observed).
+        self.saturation = 0.0
+        #: EWMA of batch execution seconds (drives the failure-penalty
+        #: clock advance when a faulted batch never reports metrics).
+        self.batch_seconds = 0.0
+        self._batches_seen = 0
+        self.rejected_depth = 0
+        self.rejected_saturation = 0
+
+    # ------------------------------------------------------------------
+    def admit(self, pending_depth: int) -> Tuple[bool, str]:
+        """Gate one arrival given the current backlog depth.
+
+        Returns ``(admitted, reason)`` — reason is "" when admitted.
+        """
+        cfg = self.config
+        if pending_depth >= cfg.max_pending:
+            self.rejected_depth += 1
+            return False, (
+                f"queue full ({pending_depth}/{cfg.max_pending} pending)"
+            )
+        if (
+            pending_depth >= cfg.saturation_min_pending
+            and self.saturation > cfg.saturation_threshold
+        ):
+            self.rejected_saturation += 1
+            return False, (
+                f"fabric saturated (comm fraction "
+                f"{self.saturation:.3f} > {cfg.saturation_threshold})"
+            )
+        return True, ""
+
+    def observe_batch(self, total_seconds: float, comm_seconds: float) -> None:
+        """Fold one executed batch into the saturation/duration EWMAs."""
+        frac = comm_seconds / total_seconds if total_seconds > 0 else 0.0
+        a = self.config.ewma_alpha
+        if self._batches_seen == 0:
+            self.saturation = frac
+            self.batch_seconds = total_seconds
+        else:
+            self.saturation = a * frac + (1.0 - a) * self.saturation
+            self.batch_seconds = (
+                a * total_seconds + (1.0 - a) * self.batch_seconds
+            )
+        self._batches_seen += 1
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "saturation_ewma": round(self.saturation, 6),
+            "batch_seconds_ewma": round(self.batch_seconds, 9),
+            "batches_observed": self._batches_seen,
+            "rejected_depth": self.rejected_depth,
+            "rejected_saturation": self.rejected_saturation,
+        }

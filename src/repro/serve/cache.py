@@ -1,0 +1,86 @@
+"""Per-graph-version result cache.
+
+Answers are cached under ``(graph_version, cache_key)`` where the cache
+key is the query's :meth:`~repro.serve.query.Query.cache_key` — so two
+BFS queries from the same source share an answer, and every ``kcore``
+query with the same ``k`` shares one membership vector.  Bumping the
+graph version (a simulated ingest/update) invalidates *everything*
+computed against older versions: old entries can never be served again
+(lookups always use the current version) and are dropped eagerly so the
+capacity is not wasted on unreachable answers.
+
+Eviction is LRU over an :class:`~collections.OrderedDict` — deterministic,
+like everything else in the service path.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """LRU cache of per-node answer vectors, keyed by graph version."""
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 0:
+            raise ValueError("cache capacity must be >= 0")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[Tuple, np.ndarray]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidated = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def get(self, version: int, key: Tuple) -> Optional[np.ndarray]:
+        """The cached answer for ``key`` at graph ``version``, or None."""
+        full = (int(version),) + tuple(key)
+        answer = self._entries.get(full)
+        if answer is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(full)
+        self.hits += 1
+        return answer
+
+    def put(self, version: int, key: Tuple, answer: np.ndarray) -> None:
+        if self.capacity == 0:
+            return
+        full = (int(version),) + tuple(key)
+        self._entries[full] = answer
+        self._entries.move_to_end(full)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate_before(self, version: int) -> int:
+        """Drop every entry computed against a version < ``version``.
+
+        Called on graph-version bumps.  Returns how many entries died.
+        """
+        stale = [k for k in self._entries if k[0] < version]
+        for k in stale:
+            del self._entries[k]
+        self.invalidated += len(stale)
+        return len(stale)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        total = self.hits + self.misses
+        return {
+            "capacity": self.capacity,
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hits / total, 4) if total else 0.0,
+            "evictions": self.evictions,
+            "invalidated": self.invalidated,
+        }

@@ -1,0 +1,120 @@
+"""The query model of the graph-analytics service.
+
+A :class:`Query` is one user request against the resident graph:
+
+* ``bfs``   — BFS levels from an arbitrary ``source``;
+* ``sssp``  — shortest distances from an arbitrary ``source``;
+* ``ppr``   — personalized PageRank with teleport to ``source``
+  (fixed-iteration, so results are bit-reproducible across batchings);
+* ``kcore`` — k-core membership for parameter ``k`` (``source`` is the
+  vertex whose membership the user asked about; one execution answers
+  every vertex, so same-``k`` queries share one run).
+
+Queries are plain frozen records so a traffic tape is trivially
+serializable and byte-stable (see :mod:`repro.serve.tape`).  Completion
+produces a :class:`QueryResult` carrying the service-time latency and
+how the answer was obtained (executed, cache hit, rejected, failed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["QUERY_KINDS", "Query", "QueryResult"]
+
+#: Query kinds the service accepts, in canonical order.
+QUERY_KINDS = ("bfs", "sssp", "ppr", "kcore")
+
+
+@dataclass(frozen=True)
+class Query:
+    """One analytics request, timestamped in service (simulated) time."""
+
+    #: Monotonic id within one tape / submission stream.
+    qid: int
+    #: One of :data:`QUERY_KINDS`.
+    kind: str
+    #: Source vertex (bfs/sssp/ppr) or the vertex whose k-core
+    #: membership is asked (kcore).
+    source: int
+    #: Arrival instant on the service clock, in simulated seconds.
+    arrival: float = 0.0
+    #: Core parameter; only meaningful for ``kind == "kcore"``.
+    k: int = 3
+
+    def __post_init__(self):
+        if self.kind not in QUERY_KINDS:
+            raise ValueError(
+                f"unknown query kind {self.kind!r}; pick from {QUERY_KINDS}"
+            )
+
+    # ------------------------------------------------------------------
+    def cache_key(self) -> Tuple:
+        """What makes two queries share an answer (graph version aside)."""
+        if self.kind == "kcore":
+            return ("kcore", self.k)
+        return (self.kind, self.source)
+
+    def batch_key(self) -> Tuple:
+        """Queries with equal batch keys may ride one BSP execution."""
+        if self.kind == "kcore":
+            return ("kcore", self.k)
+        return (self.kind,)
+
+    def as_row(self) -> list:
+        """Compact JSON row: [qid, kind, source, k, arrival]."""
+        return [self.qid, self.kind, self.source, self.k, self.arrival]
+
+    @classmethod
+    def from_row(cls, row) -> "Query":
+        qid, kind, source, k, arrival = row
+        return cls(qid=int(qid), kind=str(kind), source=int(source),
+                   arrival=float(arrival), k=int(k))
+
+
+@dataclass
+class QueryResult:
+    """Terminal record of one query's trip through the service."""
+
+    query: Query
+    #: "ok" | "rejected" | "failed".
+    status: str
+    #: Completion instant on the service clock (= rejection instant for
+    #: rejected queries).
+    completed_at: float = 0.0
+    #: Service-time latency in simulated seconds (completion - arrival).
+    latency: float = 0.0
+    #: Whether the answer came from the result cache.
+    cache_hit: bool = False
+    #: Index of the batch that produced the answer (-1: never executed).
+    batch_id: int = -1
+    #: Graph version the answer was computed against.
+    graph_version: int = -1
+    #: Why a query was rejected or failed ("" for ok).
+    reason: str = ""
+    #: The full per-node answer vector (levels / distances / ppr scores /
+    #: k-core membership flags); ``None`` for rejected/failed queries.
+    answer: Optional[np.ndarray] = field(default=None, repr=False)
+
+    @property
+    def value(self):
+        """The scalar the *user* asked for: the answer at the queried
+        vertex (k-core membership flag; a source's own level/score is
+        trivial, but the full vector is the product for bfs/sssp/ppr)."""
+        if self.answer is None:
+            return None
+        return self.answer[self.query.source]
+
+    def as_row(self) -> dict:
+        return {
+            "qid": self.query.qid,
+            "kind": self.query.kind,
+            "status": self.status,
+            "latency_us": round(self.latency * 1e6, 3),
+            "cache_hit": self.cache_hit,
+            "batch": self.batch_id,
+            "reason": self.reason,
+        }
