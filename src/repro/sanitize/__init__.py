@@ -5,6 +5,12 @@ protocol models honest so every perf/refactor PR has a safety net:
 
 * :mod:`repro.sanitize.lint` — AST-based determinism lint
   (``repro lint``), stdlib-only;
+* :mod:`repro.sanitize.proto` — interprocedural static protocol
+  analyzer (``repro analyze``): MPI request, PSCW epoch, packet-pool,
+  and comm-phase lifecycles checked whole-program, self-tested by the
+  mutation corpus in :mod:`repro.sanitize.corpus`;
+* :mod:`repro.sanitize.report` — the shared ``--json`` schema and
+  SARIF emitter used by both static passes;
 * :mod:`repro.sanitize.runtime` + the per-layer checkers
   (:mod:`~repro.sanitize.lci_checks`, :mod:`~repro.sanitize.mpi_checks`)
   — opt-in MUST-style runtime sanitizers (``repro run --sanitize`` or

@@ -1,0 +1,478 @@
+"""Self-test mutation corpus for :mod:`repro.sanitize.proto`.
+
+Each entry is a seeded protocol bug — a realistic mutation of runtime
+call-site code (drop a wait, remove a packet free, hoist a put out of
+its epoch, ...) — paired with the rule that must catch it, plus a clean
+counterpart that must produce **zero** findings.  The snippets live as
+strings (not ``.py`` files) so ``repro lint`` / ``repro analyze`` /
+ruff never scan the intentionally buggy code.
+
+``repro analyze --selftest`` and ``tests/test_proto.py`` both run
+:func:`run_selftest`; a snippet fails the suite when it is missed, when
+it trips a rule other than the intended one, or when a clean snippet
+reports anything at all.  This is what regression-tests the analyzer
+itself: any precision/recall change must keep the whole corpus green.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.sanitize.proto import analyze_source
+
+__all__ = ["Snippet", "BAD_SNIPPETS", "CLEAN_SNIPPETS", "run_selftest"]
+
+
+@dataclass(frozen=True)
+class Snippet:
+    name: str
+    rule: Optional[str]           # expected rule; None for clean code
+    source: str
+    note: str = ""
+
+    @property
+    def path(self) -> str:
+        """Corpus snippets pose as comm-layer sources."""
+        return f"corpus/repro/comm/{self.name}.py"
+
+
+BAD_SNIPPETS: Tuple[Snippet, ...] = (
+    Snippet(
+        "p201_drop_wait", "P201",
+        '''
+def fire_and_forget(ep, dst, blob):
+    req = yield from ep.isend(dst, 0, blob.nbytes, payload=blob)
+    return None
+''',
+        "mutation: the wait after isend was deleted"),
+    Snippet(
+        "p201_interproc_drop", "P201",
+        '''
+def post_recv(ep, src):
+    req = yield from ep.irecv(src, 0)
+    return req
+
+
+def drop_reply(ep, src):
+    req = yield from post_recv(ep, src)
+    return None
+''',
+        "creator summary: helper returns a live request nobody waits"),
+    Snippet(
+        "p202_double_wait", "P202",
+        '''
+def wait_twice(ep, dst, blob):
+    req = yield from ep.isend(dst, 0, blob.nbytes, payload=blob)
+    yield from ep.wait(req)
+    yield from ep.wait(req)
+''',
+        "mutation: a second wait was pasted in"),
+    Snippet(
+        "p203_early_return", "P203",
+        '''
+def racy_cancel(ep, dst, blob, fast_path):
+    req = yield from ep.isend(dst, 0, blob.nbytes, payload=blob)
+    if fast_path:
+        return 0
+    yield from ep.wait(req)
+    return 1
+''',
+        "one path waits, the early-return path leaks the request"),
+    Snippet(
+        "p204_hoisted_put", "P204",
+        '''
+def exchange(win, rank, peers, blob):
+    yield from win.post(rank, peers)
+    yield from win.put(rank, peers[0], blob.nbytes, blob)
+    yield from win.start(rank, peers)
+    yield from win.complete(rank)
+    got = yield from win.wait(rank)
+    return got
+''',
+        "mutation: the put was hoisted above start()"),
+    Snippet(
+        "p204_interproc_put", "P204",
+        '''
+def put_all(win, rank, peers, blob):
+    for t in peers:
+        yield from win.put(rank, t, blob.nbytes, blob)
+
+
+def exchange(win, rank, peers, blob):
+    yield from win.post(rank, peers)
+    yield from put_all(win, rank, peers, blob)
+    yield from win.start(rank, peers)
+    yield from win.complete(rank)
+    got = yield from win.wait(rank)
+    return got
+''',
+        "requires-summary: helper puts, caller never started the epoch"),
+    Snippet(
+        "p205_post_no_wait", "P205",
+        '''
+def expose_leak(win, rank, peers, blob):
+    yield from win.post(rank, peers)
+    yield from win.start(rank, peers)
+    yield from win.put(rank, peers[0], blob.nbytes, blob)
+    yield from win.complete(rank)
+    return None
+''',
+        "mutation: the exposure-closing wait was deleted"),
+    Snippet(
+        "p206_alloc_no_free", "P206",
+        '''
+def reserve_and_forget(pool, env):
+    ok = yield from pool.alloc()
+    if not ok:
+        return False
+    yield env.timeout(1e-6)
+    return True
+''',
+        "mutation: the packet free was removed"),
+    Snippet(
+        "p206_conditional_free", "P206",
+        '''
+def free_sometimes(pool, env, hot):
+    ok = yield from pool.alloc()
+    if not ok:
+        return False
+    yield env.timeout(1e-6)
+    if hot:
+        yield from pool.free()
+    return True
+''',
+        "one path frees, the other leaks the budget"),
+    Snippet(
+        "p207_double_free", "P207",
+        '''
+def free_twice(pool):
+    ok = yield from pool.alloc()
+    if not ok:
+        return
+    yield from pool.free()
+    yield from pool.free()
+''',
+        "mutation: a second free was pasted in"),
+    Snippet(
+        "p207_free_escaped", "P207",
+        '''
+def free_after_publish(pool, stash):
+    ok = yield from pool.alloc()
+    if not ok:
+        return
+    pkt = pool.make_packet(0, 0, 1, 0, 64, None)
+    stash.append(pkt)
+    yield from pool.free()
+''',
+        "the packet escaped into a container; its owner frees again"),
+    Snippet(
+        "p208_poll_after_stop", "P208",
+        '''
+def drain_after_stop(rt, thread):
+    rt.stop_server()
+    got = yield from rt.recv_deq(thread)
+    return got
+''',
+        "mutation: shutdown hoisted above the final drain"),
+    Snippet(
+        "p209_hoisted_send", "P209",
+        '''
+def hoisted_send(layer, phase, peers, dst, blob):
+    yield from layer.send(dst, blob)
+    yield from layer.phase_begin(phase, peers, peers)
+    got = yield from layer.collect(phase, peers)
+    yield from layer.flush(phase)
+    yield from layer.phase_end(phase)
+    return got
+''',
+        "mutation: a send was hoisted above phase_begin"),
+    Snippet(
+        "p210_collect_after_end", "P210",
+        '''
+def late_collect(layer, phase, peers):
+    yield from layer.phase_begin(phase, peers, peers)
+    yield from layer.flush(phase)
+    yield from layer.phase_end(phase)
+    got = yield from layer.collect(phase, peers)
+    return got
+''',
+        "collect on a phase that already ended"),
+    Snippet(
+        "p211_forgot_flush", "P211",
+        '''
+def forget_flush(layer, phase, peers, blobs):
+    yield from layer.phase_begin(phase, peers, peers)
+    for dst, blob in blobs:
+        yield from layer.send(dst, blob)
+    yield from layer.phase_end(phase)
+''',
+        "mutation: the flush before phase_end was deleted"),
+    Snippet(
+        "p211_skipped_shutdown", "P211",
+        '''
+def teardown_race(layer, phase, peers, flaky):
+    yield from layer.phase_begin(phase, peers, peers)
+    yield from layer.flush(phase)
+    yield from layer.phase_end(phase)
+    if flaky:
+        return None
+    layer.shutdown()
+    return None
+''',
+        "one teardown path shuts down, the error path forgets"),
+    Snippet(
+        "p212_stale_credit", "P212",
+        '''
+class CreditGate:
+    def __init__(self, env):
+        self.env = env
+        self.credits = 4
+
+    def run_sender(self):
+        while True:
+            credits = self.credits
+            yield self.env.timeout(1e-6)
+            self.credits = credits - 1
+
+    def run_refill(self):
+        while True:
+            yield self.env.timeout(1e-6)
+            self.credits = self.credits + 1
+
+
+def install(env, gate):
+    env.process(gate.run_sender())
+    env.process(gate.run_refill())
+''',
+        "read, yield, write-back: the refill in between is lost"),
+)
+
+
+CLEAN_SNIPPETS: Tuple[Snippet, ...] = (
+    Snippet(
+        "c201_send_and_wait", None,
+        '''
+def fire_and_wait(ep, dst, blob):
+    req = yield from ep.isend(dst, 0, blob.nbytes, payload=blob)
+    yield from ep.wait(req)
+'''),
+    Snippet(
+        "c201_interproc_finish", None,
+        '''
+def post_recv(ep, src):
+    req = yield from ep.irecv(src, 0)
+    return req
+
+
+def finish(ep, req):
+    yield from ep.wait(req)
+
+
+def recv_and_finish(ep, src):
+    req = yield from post_recv(ep, src)
+    yield from finish(ep, req)
+'''),
+    Snippet(
+        "c202_wait_once", None,
+        '''
+def wait_once(ep, dst, blob):
+    req = yield from ep.isend(dst, 0, blob.nbytes, payload=blob)
+    if not req.done:
+        yield from ep.wait(req)
+'''),
+    Snippet(
+        "c203_wait_before_return", None,
+        '''
+def careful_cancel(ep, dst, blob, fast_path):
+    req = yield from ep.isend(dst, 0, blob.nbytes, payload=blob)
+    yield from ep.wait(req)
+    if fast_path:
+        return 0
+    return 1
+'''),
+    Snippet(
+        "c203_stash_pending", None,
+        '''
+def stash_pending(ep, dst, blob, pending):
+    req = yield from ep.isend(dst, 0, blob.nbytes, payload=blob)
+    if req.done:
+        return 0
+    pending.append(req)
+    return 1
+'''),
+    Snippet(
+        "c204_pscw_cycle", None,
+        '''
+def exchange(win, rank, peers, blob):
+    yield from win.post(rank, peers)
+    yield from win.start(rank, peers)
+    yield from win.put(rank, peers[0], blob.nbytes, blob)
+    yield from win.complete(rank)
+    got = yield from win.wait(rank)
+    return got
+'''),
+    Snippet(
+        "c204_interproc_put", None,
+        '''
+def put_all(win, rank, peers, blob):
+    for t in peers:
+        yield from win.put(rank, t, blob.nbytes, blob)
+
+
+def exchange(win, rank, peers, blob):
+    yield from win.post(rank, peers)
+    yield from win.start(rank, peers)
+    yield from put_all(win, rank, peers, blob)
+    yield from win.complete(rank)
+    got = yield from win.wait(rank)
+    return got
+'''),
+    Snippet(
+        "c206_alloc_free", None,
+        '''
+def reserve_and_release(pool, env):
+    ok = yield from pool.alloc()
+    if not ok:
+        return False
+    yield env.timeout(1e-6)
+    yield from pool.free()
+    return True
+'''),
+    Snippet(
+        "c206_handoff_callback", None,
+        '''
+def eager_send(pool, nic, dst, blob, thread):
+    ok = yield from pool.alloc(thread)
+    if not ok:
+        return False
+    pkt = pool.make_packet(0, 0, dst, 0, blob.nbytes, blob)
+    sent = nic.try_inject(pkt, on_local_complete=lambda:
+                          pool.free_nowait(thread))
+    if not sent:
+        pool.free_nowait(thread)
+    return True
+'''),
+    Snippet(
+        "c207_free_once", None,
+        '''
+def free_once(pool):
+    ok = yield from pool.alloc()
+    if not ok:
+        return
+    yield from pool.free()
+'''),
+    Snippet(
+        "c208_drain_then_stop", None,
+        '''
+def drain_then_stop(rt, thread):
+    got = yield from rt.recv_deq(thread)
+    rt.stop_server()
+    return got
+'''),
+    Snippet(
+        "c209_phase_cycle", None,
+        '''
+def ordered_phase(layer, phase, peers, dst, blob):
+    yield from layer.phase_begin(phase, peers, peers)
+    yield from layer.send(dst, blob)
+    yield from layer.flush(phase)
+    got = yield from layer.collect(phase, peers)
+    yield from layer.phase_end(phase)
+    return got
+'''),
+    Snippet(
+        "c211_flush_loop", None,
+        '''
+def flushed_sends(layer, phase, peers, blobs):
+    yield from layer.phase_begin(phase, peers, peers)
+    for dst, blob in blobs:
+        yield from layer.send(dst, blob)
+    yield from layer.flush(phase)
+    yield from layer.phase_end(phase)
+'''),
+    Snippet(
+        "c211_always_shutdown", None,
+        '''
+def clean_teardown(layer, phase, peers, flaky):
+    yield from layer.phase_begin(phase, peers, peers)
+    yield from layer.flush(phase)
+    yield from layer.phase_end(phase)
+    layer.shutdown()
+    if flaky:
+        return None
+    return True
+'''),
+    Snippet(
+        "c212_reread_after_yield", None,
+        '''
+class CreditGate:
+    def __init__(self, env):
+        self.env = env
+        self.credits = 4
+
+    def run_sender(self):
+        while True:
+            yield self.env.timeout(1e-6)
+            self.credits = self.credits - 1
+
+    def run_refill(self):
+        while True:
+            yield self.env.timeout(1e-6)
+            self.credits = self.credits + 1
+
+
+def install(env, gate):
+    env.process(gate.run_sender())
+    env.process(gate.run_refill())
+'''),
+    Snippet(
+        "c212_single_writer", None,
+        '''
+class Window:
+    def __init__(self, env):
+        self.env = env
+        self.inflight = 0
+
+    def run_sender(self):
+        while True:
+            inflight = self.inflight
+            yield self.env.timeout(1e-6)
+            self.inflight = inflight + 1
+
+    def run_logger(self):
+        while True:
+            yield self.env.timeout(1e-3)
+            count = self.inflight
+
+
+def install(env, win):
+    env.process(win.run_sender())
+    env.process(win.run_logger())
+'''),
+)
+
+
+def run_selftest() -> Tuple[List[str], Dict[str, int]]:
+    """(failures, per-rule hit counts).  Empty failures == healthy."""
+    failures: List[str] = []
+    hits: Dict[str, int] = {}
+    for sn in BAD_SNIPPETS:
+        findings = analyze_source(sn.source, sn.path)
+        rules = {f.rule for f in findings}
+        if not findings:
+            failures.append(
+                f"{sn.name}: seeded {sn.rule} bug was not caught")
+        elif rules != {sn.rule}:
+            failures.append(
+                f"{sn.name}: expected only {sn.rule}, got "
+                f"{sorted(rules)}")
+        else:
+            hits[sn.rule] = hits.get(sn.rule, 0) + 1
+    for sn in CLEAN_SNIPPETS:
+        findings = analyze_source(sn.source, sn.path)
+        if findings:
+            failures.append(
+                f"{sn.name}: clean snippet flagged: "
+                + "; ".join(str(f) for f in findings))
+    return failures, hits

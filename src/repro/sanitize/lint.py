@@ -25,6 +25,9 @@ D104   ``os.environ``/``os.getenv`` in ordering-sensitive modules —
 D105   floating-point accumulation (``sum``/``math.fsum``) over an
        unordered iterable — reduction order changes the bits of
        metrics
+D106   iteration over ``.keys()``/``.values()`` of a dict populated
+       from an unordered set — the dict inherits the set's
+       insertion order, so the nondeterminism survives the copy
 ====== ==========================================================
 
 A finding is suppressed by a ``# lint-ok: D103 <why>`` comment on the
@@ -64,6 +67,7 @@ RULES: Dict[str, str] = {
     "D103": "iteration over an unordered set in an ordering-sensitive module",
     "D104": "environment-dependent branching in an ordering-sensitive module",
     "D105": "floating-point accumulation over an unordered iterable",
+    "D106": "iteration over a dict populated from an unordered set",
 }
 
 #: Package subdirectories whose event/iteration order feeds simulated
@@ -173,6 +177,8 @@ class _Visitor(ast.NodeVisitor):
         self.from_imports: Dict[str, str] = {}
         #: stack of per-scope sets of names known to hold set values
         self._set_names: List[Set[str]] = [set()]
+        #: stack of per-scope names of dicts built from unordered sets
+        self._setfed_dicts: List[Set[str]] = [set()]
         #: nodes already reported by D105 (skip the D103 re-report)
         self._claimed: Set[int] = set()
 
@@ -245,10 +251,26 @@ class _Visitor(ast.NodeVisitor):
         self.generic_visit(node)
 
     # -- scopes & assignments -----------------------------------------
+    def _is_set_fed_dict(self, node: ast.AST) -> bool:
+        """An expression building a dict whose key order comes from an
+        unordered set (``{k: v for k in s}``, ``dict.fromkeys(s)``)."""
+        if isinstance(node, ast.DictComp):
+            return any(self._is_unordered(gen.iter)
+                       for gen in node.generators)
+        if isinstance(node, ast.Call):
+            target = _dotted(node.func)
+            if target == "dict.fromkeys" and node.args:
+                return self._is_unordered(node.args[0])
+        if isinstance(node, ast.Name):
+            return any(node.id in scope for scope in self._setfed_dicts)
+        return False
+
     def _enter_scope(self, node) -> None:
         self._set_names.append(set())
+        self._setfed_dicts.append(set())
         self.generic_visit(node)
         self._set_names.pop()
+        self._setfed_dicts.pop()
 
     visit_FunctionDef = _enter_scope
     visit_AsyncFunctionDef = _enter_scope
@@ -257,15 +279,20 @@ class _Visitor(ast.NodeVisitor):
 
     def visit_Assign(self, node: ast.Assign) -> None:
         unordered = self._is_unordered(node.value)
+        set_fed = self._is_set_fed_dict(node.value)
         for target in node.targets:
             if isinstance(target, ast.Name):
                 if unordered:
                     self._set_names[-1].add(target.id)
                 else:
                     self._set_names[-1].discard(target.id)
+                if set_fed:
+                    self._setfed_dicts[-1].add(target.id)
+                else:
+                    self._setfed_dicts[-1].discard(target.id)
         self.generic_visit(node)
 
-    # -- D103: unordered iteration ------------------------------------
+    # -- D103/D106: unordered iteration -------------------------------
     def _check_iter(self, iter_node: ast.AST) -> None:
         if not self.sensitive or id(iter_node) in self._claimed:
             return
@@ -275,6 +302,21 @@ class _Visitor(ast.NodeVisitor):
                 "D103", iter_node,
                 "iterating an unordered set in an ordering-sensitive "
                 "module; wrap in sorted(...) to fix the traversal order",
+            )
+            return
+        if (
+            isinstance(iter_node, ast.Call)
+            and isinstance(iter_node.func, ast.Attribute)
+            and iter_node.func.attr in ("keys", "values")
+            and self._is_set_fed_dict(iter_node.func.value)
+        ):
+            self._claimed.add(id(iter_node))
+            self._flag(
+                "D106", iter_node,
+                f"iterating .{iter_node.func.attr}() of a dict "
+                "populated from an unordered set; the dict inherits "
+                "the set's iteration order — build it from "
+                "sorted(...) instead",
             )
 
     def visit_For(self, node: ast.For) -> None:
@@ -460,17 +502,19 @@ def lint_repo() -> LintResult:
 # Reports
 # ----------------------------------------------------------------------
 def report_dict(result: LintResult) -> Dict:
-    """Machine-readable report (the ``repro lint --json`` payload)."""
-    counts: Dict[str, int] = {}
-    for f in result.findings:
-        counts[f.rule] = counts.get(f.rule, 0) + 1
-    return {
-        "files_checked": result.files_checked,
-        "findings": [f.as_dict() for f in result.findings],
-        "counts_by_rule": counts,
-        "suppressed": result.suppressed,
-        "rules": dict(RULES),
-    }
+    """Machine-readable report (the ``repro lint --json`` payload).
+
+    Shares the schema of ``repro analyze --json`` (see
+    :func:`repro.sanitize.report.make_report`); the pre-schema
+    ``suppressed`` count is kept as a legacy alias.
+    """
+    from repro.sanitize.report import make_report
+
+    doc = make_report("repro-lint", RULES, result.findings,
+                      files_checked=result.files_checked,
+                      suppressed=result.suppressed)
+    doc["suppressed"] = result.suppressed
+    return doc
 
 
 def format_findings(result: LintResult) -> str:

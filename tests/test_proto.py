@@ -1,0 +1,317 @@
+"""Tests for the static protocol analyzer (repro.sanitize.proto).
+
+Three layers of defense:
+
+1. the mutation corpus — every seeded protocol bug must be caught by
+   exactly its intended rule, every clean counterpart must be silent;
+2. targeted unit tests for the interprocedural machinery (summaries,
+   escape analysis, suppressions, baseline diffing);
+3. the acceptance gate — the analyzer must run clean against the
+   committed PROTO_BASELINE.json on the repo itself.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.sanitize.corpus import BAD_SNIPPETS, CLEAN_SNIPPETS, run_selftest
+from repro.sanitize.proto import (
+    RULES,
+    analyze_repo,
+    analyze_source,
+    diff_baseline,
+    load_baseline,
+    normalize_path,
+    report_dict,
+    save_baseline,
+)
+from repro.sanitize.report import make_report, to_sarif
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def rules_of(findings):
+    return {f.rule for f in findings}
+
+
+# ---------------------------------------------------------------------------
+# Mutation corpus
+# ---------------------------------------------------------------------------
+def test_corpus_is_large_enough():
+    assert len(BAD_SNIPPETS) >= 12
+    assert len(CLEAN_SNIPPETS) >= 12
+    # every rule has at least one seeded bug
+    assert {s.rule for s in BAD_SNIPPETS} == set(RULES)
+
+
+@pytest.mark.parametrize("snippet", BAD_SNIPPETS,
+                         ids=[s.name for s in BAD_SNIPPETS])
+def test_seeded_bug_caught_by_exactly_its_rule(snippet):
+    findings = analyze_source(snippet.source, snippet.path)
+    assert findings, f"{snippet.name}: seeded {snippet.rule} bug missed"
+    assert rules_of(findings) == {snippet.rule}
+
+
+@pytest.mark.parametrize("snippet", CLEAN_SNIPPETS,
+                         ids=[s.name for s in CLEAN_SNIPPETS])
+def test_clean_snippet_is_finding_free(snippet):
+    assert analyze_source(snippet.source, snippet.path) == []
+
+
+def test_run_selftest_is_green():
+    failures, hits = run_selftest()
+    assert failures == []
+    assert sum(hits.values()) == len(BAD_SNIPPETS)
+
+
+# ---------------------------------------------------------------------------
+# Interprocedural machinery
+# ---------------------------------------------------------------------------
+def test_creator_summary_propagates_across_helpers():
+    src = """
+def make(ep, src):
+    req = yield from ep.irecv(src, 0)
+    return req
+
+
+def use(ep, src):
+    req = yield from make(ep, src)
+    return None
+"""
+    findings = analyze_source(src, "x/repro/mpi/t.py")
+    assert rules_of(findings) == {"P201"}
+    assert findings[0].symbol == "use"
+
+
+def test_release_summary_clears_the_caller_token():
+    src = """
+def finish(ep, req):
+    yield from ep.wait(req)
+
+
+def go(ep, dst, blob):
+    req = yield from ep.isend(dst, 0, blob.nbytes, payload=blob)
+    yield from finish(ep, req)
+"""
+    assert analyze_source(src, "x/repro/mpi/t.py") == []
+
+
+def test_escape_through_container_is_not_a_leak():
+    src = """
+def stash(ep, dst, blob, pending):
+    req = yield from ep.isend(dst, 0, blob.nbytes, payload=blob)
+    pending.append(req)
+"""
+    assert analyze_source(src, "x/repro/mpi/t.py") == []
+
+
+def test_on_complete_callback_counts_as_handoff():
+    src = """
+def fire(ep, dst, blob):
+    req = yield from ep.isend(dst, 0, blob.nbytes, payload=blob)
+    req.on_complete(lambda r: r)
+"""
+    assert analyze_source(src, "x/repro/mpi/t.py") == []
+
+
+def test_req_done_branch_refinement():
+    # `if req.done:` on the true branch means completion was consumed.
+    src = """
+def poll(ep, dst, blob, pending):
+    req = yield from ep.isend(dst, 0, blob.nbytes, payload=blob)
+    if req.done:
+        return 0
+    pending.append(req)
+    return 1
+"""
+    assert analyze_source(src, "x/repro/mpi/t.py") == []
+
+
+def test_alloc_guard_failure_path_is_not_a_leak():
+    src = """
+def guarded(pool):
+    ok = yield from pool.alloc()
+    if not ok:
+        return False
+    yield from pool.free()
+    return True
+"""
+    assert analyze_source(src, "x/repro/lci/t.py") == []
+
+
+def test_callback_handoff_keeps_failure_free_silent():
+    # The real queue_iface shape: hand off via callback, free on the
+    # failure path — neither a leak nor a double free.
+    src = """
+def short_send(pool, nic, dst, blob, thread):
+    ok = yield from pool.alloc(thread)
+    if not ok:
+        return False
+    pkt = pool.make_packet(0, 0, dst, 0, blob.nbytes, blob)
+    sent = nic.inject(pkt, on_done=lambda: pool.free_nowait(thread))
+    if not sent:
+        pool.free_nowait(thread)
+    return True
+"""
+    assert analyze_source(src, "x/repro/lci/t.py") == []
+
+
+def test_receiver_gating_ignores_lookalike_methods():
+    # .put on a cache and .post on a queue must not trip RMA rules.
+    src = """
+def lookalikes(cache, inbox, item):
+    cache.put(item.key, item)
+    inbox.post(item)
+    return cache
+"""
+    assert analyze_source(src, "x/repro/serve/t.py") == []
+
+
+def test_proto_suppression_comment():
+    bad = BAD_SNIPPETS[0]
+    line = "    req = yield from ep.isend(dst, 0, blob.nbytes, payload=blob)"
+    patched = bad.source.replace(
+        line, line + "  # proto-ok: P201 fire-and-forget by design")
+    assert analyze_source(patched, bad.path) == []
+
+
+# ---------------------------------------------------------------------------
+# Baseline workflow
+# ---------------------------------------------------------------------------
+def test_normalize_path_is_package_relative():
+    assert normalize_path("/x/venv/repro/lci/server.py") == "lci/server.py"
+    assert normalize_path("src/repro/comm/rma_layer.py") == (
+        "comm/rma_layer.py")
+
+
+def test_baseline_roundtrip_and_diff(tmp_path):
+    findings = analyze_source(BAD_SNIPPETS[0].source, BAD_SNIPPETS[0].path)
+    path = tmp_path / "baseline.json"
+    save_baseline(findings, path, justification="test fixture")
+    accepted = load_baseline(path)
+    assert accepted[0]["justification"] == "test fixture"
+    new, stale = diff_baseline(findings, accepted)
+    assert new == [] and stale == []
+    # a different finding is "new"; the old entry becomes stale
+    other = analyze_source(BAD_SNIPPETS[2].source, BAD_SNIPPETS[2].path)
+    new, stale = diff_baseline(other, accepted)
+    assert len(new) == len(other) and len(stale) == 1
+
+
+def test_baseline_matches_on_symbol_not_line():
+    findings = analyze_source(BAD_SNIPPETS[0].source, BAD_SNIPPETS[0].path)
+    # shift every line: the finding moves but the key does not
+    shifted = analyze_source("\n\n\n" + BAD_SNIPPETS[0].source,
+                             BAD_SNIPPETS[0].path)
+    accepted = [{"rule": f.rule, "path": normalize_path(f.path),
+                 "symbol": f.symbol} for f in findings]
+    new, stale = diff_baseline(shifted, accepted)
+    assert new == [] and stale == []
+
+
+def test_repo_analysis_matches_committed_baseline():
+    """Acceptance criterion: repo findings ⊆ PROTO_BASELINE.json."""
+    result = analyze_repo()
+    assert result.files_checked > 50
+    accepted = load_baseline(REPO_ROOT / "PROTO_BASELINE.json")
+    for entry in accepted:
+        assert entry.get("justification", "").strip(), (
+            "baseline entries must carry a written justification")
+    new, stale = diff_baseline(result.findings, accepted)
+    assert new == [], [str(f) for f in new]
+    assert stale == [], stale
+
+
+# ---------------------------------------------------------------------------
+# Shared report schema + SARIF
+# ---------------------------------------------------------------------------
+def test_analyze_report_shares_lint_schema():
+    from repro.sanitize.lint import LintResult, lint_source
+    from repro.sanitize.lint import report_dict as lint_report
+
+    findings = analyze_source(BAD_SNIPPETS[0].source, BAD_SNIPPETS[0].path)
+    from repro.sanitize.proto import AnalysisResult
+    adoc = report_dict(AnalysisResult(findings, 1, 0))
+    lfindings = lint_source("import time\nt = time.time()\n",
+                            "src/repro/sim/x.py")
+    ldoc = lint_report(LintResult(lfindings, 1, 0))
+    shared = {"tool", "rules", "findings", "suppressions",
+              "files_checked", "counts_by_rule"}
+    assert shared <= set(adoc) and shared <= set(ldoc)
+    assert adoc["tool"] == "repro-analyze"
+    assert ldoc["tool"] == "repro-lint"
+    assert adoc["suppressions"] == {"count": 0}
+    json.loads(json.dumps(adoc))
+
+
+def test_sarif_emitter_shape():
+    findings = analyze_source(BAD_SNIPPETS[0].source, BAD_SNIPPETS[0].path)
+    doc = make_report("repro-analyze", RULES, findings,
+                      files_checked=1, suppressed=0)
+    sarif = to_sarif(doc)
+    assert sarif["version"] == "2.1.0"
+    run = sarif["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-analyze"
+    rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert set(RULES) == rule_ids
+    result = run["results"][0]
+    assert result["ruleId"] == "P201"
+    loc = result["locations"][0]["physicalLocation"]
+    assert loc["region"]["startLine"] >= 1
+    assert loc["region"]["startColumn"] >= 1
+    json.loads(json.dumps(sarif))
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+def test_cli_analyze_check_baseline_and_selftest(tmp_path, capsys):
+    from repro.cli import main
+
+    rc = main(["analyze", "--check-baseline",
+               str(REPO_ROOT / "PROTO_BASELINE.json")])
+    assert rc == 0
+    assert "accepted by" in capsys.readouterr().out
+
+    rc = main(["analyze", "--selftest"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert f"{len(BAD_SNIPPETS)}/{len(BAD_SNIPPETS)}" in out
+
+
+def test_cli_analyze_flags_unbaselined_finding(tmp_path, capsys):
+    from repro.cli import main
+
+    bad = tmp_path / "repro" / "comm" / "bug.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(BAD_SNIPPETS[0].source)
+    empty = tmp_path / "empty_baseline.json"
+    empty.write_text(json.dumps({"accepted": []}))
+    rc = main(["analyze", str(bad), "--check-baseline", str(empty)])
+    assert rc == 1
+    assert "not in baseline" in capsys.readouterr().err
+
+    # without --check-baseline, findings alone exit 1
+    rc = main(["analyze", str(bad)])
+    assert rc == 1
+
+    sarif = tmp_path / "out.sarif"
+    rc = main(["analyze", str(bad), "--sarif", str(sarif)])
+    assert rc == 1
+    doc = json.loads(sarif.read_text())
+    assert doc["runs"][0]["results"][0]["ruleId"] == "P201"
+
+
+def test_cli_analyze_write_baseline_roundtrip(tmp_path, capsys):
+    from repro.cli import main
+
+    bad = tmp_path / "repro" / "comm" / "bug.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(BAD_SNIPPETS[0].source)
+    baseline = tmp_path / "baseline.json"
+    rc = main(["analyze", str(bad), "--write-baseline", str(baseline)])
+    assert rc == 0
+    rc = main(["analyze", str(bad), "--check-baseline", str(baseline)])
+    assert rc == 0
+    capsys.readouterr()

@@ -177,6 +177,109 @@ def test_lint_json_report_shape(tmp_path):
     json.loads(json.dumps(report))
 
 
+def test_lint_flags_set_fed_dict_iteration():
+    src = (
+        "s = {3, 1, 2}\n"
+        "d = {k: 0 for k in s}\n"
+        "for k in d.keys():\n"
+        "    print(k)\n"
+        "for v in d.values():\n"
+        "    print(v)\n"
+    )
+    findings = lint_source(src, "src/repro/comm/x.py")
+    # the comp itself iterates the set (D103, the root cause); both
+    # downstream .keys()/.values() loops get D106
+    assert [f.rule for f in findings] == ["D103", "D106", "D106"]
+    # order-insensitive dirs stay silent
+    assert lint_source(src, "src/repro/bench/x.py") == []
+
+
+def test_lint_flags_dict_fromkeys_of_set():
+    src = (
+        "s = {1, 2}\n"
+        "d = dict.fromkeys(s)\n"
+        "for k in d.keys():\n"
+        "    print(k)\n"
+    )
+    assert "D106" in rules_of(lint_source(src, "src/repro/mpi/x.py"))
+
+
+def test_lint_set_fed_dict_clean_counterparts():
+    # built from sorted(...) — ordered, no finding
+    ordered = (
+        "s = {3, 1, 2}\n"
+        "d = {k: 0 for k in sorted(s)}\n"
+        "for k in d.keys():\n"
+        "    print(k)\n"
+    )
+    assert lint_source(ordered, "src/repro/sim/x.py") == []
+    # fed from a list — insertion order is already deterministic
+    listy = (
+        "xs = [3, 1, 2]\n"
+        "d = {k: 0 for k in xs}\n"
+        "for v in d.values():\n"
+        "    print(v)\n"
+    )
+    assert lint_source(listy, "src/repro/sim/x.py") == []
+    # reassignment to an ordered dict clears the taint
+    reassigned = (
+        "s = {1, 2}\n"
+        "d = dict.fromkeys(s)\n"
+        "d = dict.fromkeys(sorted(s))\n"
+        "for k in d.keys():\n"
+        "    print(k)\n"
+    )
+    assert lint_source(reassigned, "src/repro/sim/x.py") == []
+
+
+def test_lint_suppression_counts_in_result():
+    from repro.sanitize.lint import _lint_source_counted
+
+    src = (
+        "import time\n"
+        "a = time.time()  # lint-ok: D101 wanted\n"
+        "b = time.time()\n"
+    )
+    result = _lint_source_counted(src, "src/repro/sim/x.py")
+    assert result.suppressed == 1
+    assert [f.rule for f in result.findings] == ["D101"]
+
+
+def test_lint_suppression_comma_separated_rules():
+    src = (
+        "import time\n"
+        "s = {1.0, 2.0}\n"
+        "t = sum(s) + time.time()  # lint-ok: D101, D105 both intended\n"
+    )
+    assert lint_source(src, "src/repro/sim/x.py") == []
+    # only one of the two listed: the other still fires
+    partial = (
+        "import time\n"
+        "s = {1.0, 2.0}\n"
+        "t = sum(s) + time.time()  # lint-ok: D105 fp ok\n"
+    )
+    assert rules_of(lint_source(partial, "src/repro/sim/x.py")) == {"D101"}
+
+
+def test_lint_suppressed_count_survives_into_report(tmp_path):
+    from repro.sanitize.lint import lint_paths
+
+    f = tmp_path / "repro" / "sim" / "x.py"
+    f.parent.mkdir(parents=True)
+    f.write_text(
+        "import time\n"
+        "a = time.time()  # lint-ok: all\n"
+        "b = time.time()  # lint-ok: D101 wanted\n"
+        "c = time.time()\n"
+    )
+    result = lint_paths([f])
+    assert result.suppressed == 2
+    report = report_dict(result)
+    assert report["suppressions"]["count"] == 2
+    assert report["suppressed"] == 2  # legacy alias
+    assert report["counts_by_rule"] == {"D101": 1}
+
+
 # ---------------------------------------------------------------------------
 # Mode resolution and context mechanics
 # ---------------------------------------------------------------------------
