@@ -84,16 +84,18 @@ def run_scenario(sc: Scenario) -> RunMetrics:
 
 def build_engine(
     sc: Scenario, tracer=None, fault_plan=None, obs=None, *,
-    app=None, graph=None, partition=None,
+    app=None, graph=None, partition=None, profile=None,
 ) -> BspEngine:
     """Construct the (unrun) engine for a scenario.
 
     ``tracer`` attaches a :class:`repro.sim.trace.Tracer`; ``fault_plan``
     (a plan object or name) overrides the scenario's own ``fault_plan``
     field; ``obs`` attaches a :class:`repro.obs.ObsContext` for
-    message-lifecycle tracing.  Callers that need the engine afterwards —
-    for ``assemble_global`` or injector statistics — use this instead of
-    :func:`run_scenario`.
+    message-lifecycle tracing; ``profile`` attaches a
+    :class:`repro.obs.profile.ProfileContext` for host-side region
+    profiling and work counters.  Callers that need the engine
+    afterwards — for ``assemble_global`` or injector statistics — use
+    this instead of :func:`run_scenario`.
 
     The keyword-only overrides serve long-lived callers
     (:class:`repro.serve.ServeEngine`): ``app`` substitutes an
@@ -160,5 +162,6 @@ def build_engine(
         fault_plan=fault_plan,
         sanitize=sc.sanitize,
         obs=obs,
+        profile=profile,
     )
     return BspEngine(graph, app, cfg, partition=partition)

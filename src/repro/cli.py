@@ -20,6 +20,10 @@
         [--fault-plan drop-5pct] [--report report.json]
     python -m repro bench-serve [--out BENCH_serve.json] \\
         [--check BENCH_serve.json]
+    python -m repro profile --app bfs --scale 10 --hosts 8 --layer lci \\
+        [--top 15] [--json prof.json] [--collapsed prof.folded]
+    python -m repro bench-core [--out BENCH_core.json] \\
+        [--check BENCH_core.json] [--overhead]
 
 Each subcommand prints the same tables the benchmark harness produces.
 
@@ -213,6 +217,59 @@ def build_parser() -> argparse.ArgumentParser:
                              help="compare against a committed document; "
                                   "exit 1 on drift")
 
+    profile = sub.add_parser(
+        "profile",
+        help="run one scenario under the host-side region profiler "
+             "and work-counter registry",
+    )
+    profile.add_argument("--app", default="bfs",
+                         choices=["bfs", "cc", "sssp", "pagerank", "kcore"])
+    profile.add_argument("--graph", default="rmat",
+                         choices=["rmat", "kron", "webcrawl"])
+    profile.add_argument("--scale", type=int, default=10)
+    profile.add_argument("--hosts", type=int, default=8)
+    profile.add_argument("--layer", default="lci",
+                         choices=list(LAYER_NAMES))
+    profile.add_argument("--system", default="abelian",
+                         choices=["abelian", "gemini"])
+    profile.add_argument("--machine", default="stampede2",
+                         choices=["stampede2", "stampede1"])
+    profile.add_argument("--mpi", default="intelmpi", dest="mpi_impl",
+                         choices=["intelmpi", "mvapich2", "openmpi"])
+    profile.add_argument("--pagerank-rounds", type=int, default=20)
+    profile.add_argument("--seed", type=int, default=1)
+    profile.add_argument("--top", type=int, default=15,
+                         help="rows in the self-time table")
+    profile.add_argument("--json", metavar="PATH", dest="json_path",
+                         help="write the full profile document "
+                              "(regions + counters + fingerprint)")
+    profile.add_argument("--collapsed", metavar="PATH",
+                         dest="collapsed_path",
+                         help="write a collapsed-stack (flamegraph.pl "
+                              "/ speedscope) export")
+
+    bench_core = sub.add_parser(
+        "bench-core",
+        help="deterministic simulator-core benchmark (BENCH_core.json)",
+    )
+    bench_core.add_argument("--out", metavar="PATH",
+                            help="write the benchmark document here")
+    bench_core.add_argument("--check", metavar="PATH",
+                            help="compare the deterministic blocks "
+                                 "against a committed document "
+                                 "(wall-clock ignored); exit 1 on drift")
+    bench_core.add_argument("--repeats", type=int, default=2,
+                            help="timed runs per scenario (min taken; "
+                                 "every repeat must reproduce the "
+                                 "counter fingerprint)")
+    bench_core.add_argument("--overhead", action="store_true",
+                            help="also measure profiler-on vs "
+                                 "profiler-off wall-clock overhead")
+    bench_core.add_argument("--overhead-limit", type=float, default=None,
+                            metavar="PCT",
+                            help="with --overhead: exit 1 if overhead "
+                                 "exceeds PCT percent")
+
     lint = sub.add_parser(
         "lint", help="static determinism lint over the simulation sources"
     )
@@ -274,11 +331,15 @@ def _cmd_run(args) -> int:
         mpi_impl=args.mpi_impl, pagerank_rounds=args.pagerank_rounds,
         seed=args.seed, sanitize=args.sanitize,
     )
+    from repro.obs.profile import wall_now
+
+    wall0 = wall_now()
     try:
         m = build_engine(sc, tracer=tracer, obs=obs).run()
     except SanitizerError as exc:
         print(f"sanitizer violation: {exc}", file=sys.stderr)
         return SANITIZER_EXIT_CODE
+    m.stamp_wall(wall_now() - wall0)
     if tracer is not None:
         tracer.save(args.trace)
         print(f"trace written to {args.trace}")
@@ -513,11 +574,15 @@ def _cmd_serve(args) -> int:
 
     obs_path = args.obs
     obs_config = None
+    profile = None
     if obs_path or args.obs_prom:
         from repro.obs import ObsConfig
         obs_config = ObsConfig()
         if obs_path is None:
             obs_path = "obs-serve.json"
+    if args.obs_prom:
+        from repro.obs import ProfileContext
+        profile = ProfileContext()
 
     config = ServeConfig(
         graph=args.graph, scale=args.scale, hosts=args.hosts,
@@ -527,7 +592,8 @@ def _cmd_serve(args) -> int:
         fault_seed=args.fault_seed, sanitize=args.sanitize,
     )
     try:
-        engine = ServeEngine(config, obs_config=obs_config)
+        engine = ServeEngine(config, obs_config=obs_config,
+                             profile=profile)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -542,6 +608,9 @@ def _cmd_serve(args) -> int:
             fh.write(tape_to_json(spec, queries))
         print(f"tape written to {args.save_tape}")
     if args.report:
+        # Deterministic by default: replaying the same tape must produce
+        # a byte-identical report file.  Wall-clock throughput stays
+        # available via ServeReport.as_dict(include_wall=True).
         with open(args.report, "w") as fh:
             json.dump(report.as_dict(), fh, sort_keys=True, indent=2)
             fh.write("\n")
@@ -558,7 +627,10 @@ def _cmd_serve(args) -> int:
         print(f"obs timeline written to {obs_path} "
               f"({len(timeline['events'])} events)")
         if args.obs_prom:
-            save_prometheus(args.obs_prom, timeline)
+            counters = (
+                profile.counters_dict() if profile is not None else None
+            )
+            save_prometheus(args.obs_prom, timeline, counters=counters)
             with open(args.obs_prom, "a") as fh:
                 lat_lines = report.latency_summary().prometheus_lines(
                     "repro_serve_query_latency_seconds"
@@ -608,6 +680,90 @@ def _cmd_bench_serve(args) -> int:
             return 1
         print(f"matches committed {args.check}")
     return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.obs.profile import ProfileContext, wall_now
+
+    sc = Scenario(
+        app=args.app, graph=args.graph, scale=args.scale, hosts=args.hosts,
+        layer=args.layer, system=args.system, machine=args.machine,
+        mpi_impl=args.mpi_impl, pagerank_rounds=args.pagerank_rounds,
+        seed=args.seed,
+    )
+    ctx = ProfileContext()
+    engine = build_engine(sc, profile=ctx)
+    wall0 = wall_now()
+    m = engine.run().stamp_wall(wall_now() - wall0)
+    print(format_table([m.row(include_wall=True)]))
+    print()
+    print(ctx.format_top(args.top))
+    print()
+    print(ctx.format_counters())
+    if args.json_path:
+        ctx.save_json(args.json_path, meta={
+            "scenario": sc.label(),
+            "wall_seconds": round(m.wall_seconds, 6),
+        })
+        print(f"\nprofile json written to {args.json_path}")
+    if args.collapsed_path:
+        ctx.save_collapsed(args.collapsed_path)
+        print(f"collapsed stacks written to {args.collapsed_path} "
+              "(feed to flamegraph.pl / speedscope)")
+    return 0
+
+
+def _cmd_bench_core(args) -> int:
+    from repro.bench.core_bench import (
+        bench_core_to_json,
+        check_core_against_file,
+        core_benchmark,
+        measure_overhead,
+    )
+
+    try:
+        doc = core_benchmark(repeats=args.repeats)
+    except AssertionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(bench_core_to_json(doc))
+        print(f"benchmark written to {args.out}")
+    for row in doc["scenarios"]:
+        sim, wall = row["sim"], row["wall"]
+        print(f"{row['label']}: {sim['events_fired']} events in "
+              f"{wall['wall_seconds']}s wall "
+              f"({wall['events_per_sec']} events/s, "
+              f"{wall['sim_msgs_per_sec']} sim-msgs/s), "
+              f"fingerprint {sim['fingerprint']}")
+    rc = 0
+    if args.check:
+        diffs = check_core_against_file(doc, args.check)
+        if diffs is None:
+            print(f"error: cannot read committed benchmark {args.check}",
+                  file=sys.stderr)
+            return 1
+        if diffs:
+            for d in diffs[:20]:
+                print(f"benchmark drift: {d}", file=sys.stderr)
+            print(f"{len(diffs)} mismatch(es) vs {args.check}; regenerate "
+                  f"with `repro bench-core --out {args.check}` if the "
+                  "change is intended", file=sys.stderr)
+            return 1
+        print(f"deterministic blocks match committed {args.check} "
+              "(wall-clock ignored)")
+    if args.overhead:
+        o = measure_overhead()
+        print(f"profiler overhead on {o['scenario']}: "
+              f"{o['wall_off']}s off vs {o['wall_on']}s on "
+              f"({o['overhead_pct']:+.2f}%)")
+        if (args.overhead_limit is not None
+                and o["overhead_pct"] > args.overhead_limit):
+            print(f"error: overhead {o['overhead_pct']}% exceeds limit "
+                  f"{args.overhead_limit}%", file=sys.stderr)
+            rc = 1
+    return rc
 
 
 def _cmd_lint(args) -> int:
@@ -707,6 +863,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "calibrate": _cmd_calibrate,
         "serve": _cmd_serve,
         "bench-serve": _cmd_bench_serve,
+        "profile": _cmd_profile,
+        "bench-core": _cmd_bench_core,
         "lint": _cmd_lint,
         "analyze": _cmd_analyze,
     }[args.command]

@@ -104,6 +104,12 @@ class EngineConfig:
     #: self-discover it.  Pure observation: a run with obs enabled is
     #: bit-identical to one without.
     obs: Optional[object] = None
+    #: Optional :class:`repro.obs.profile.ProfileContext` for host-side
+    #: wall-clock region profiling and deterministic work counters.
+    #: Installed before the layers are built (like obs) so endpoints,
+    #: queues, and pools self-discover it.  Same contract: a profiled
+    #: run is bit-identical to a plain one.
+    profile: Optional[object] = None
 
 
 class BspEngine:
@@ -168,6 +174,12 @@ class BspEngine:
         self.obs = config.obs
         if self.obs is not None:
             self.obs.install(self.env, self.fabric)
+        # Host-side profiling rides the fabric/environment the same way
+        # (and must precede the layers so matching queues and packet
+        # pools pick up their counter hooks at construction).
+        self.profiler = config.profile
+        if self.profiler is not None:
+            self.profiler.install(self.env, self.fabric)
         self.layers: List[CommLayer] = make_layers(
             config.layer, self.env, self.fabric, config.machine,
             **config.layer_kwargs,
@@ -261,11 +273,20 @@ class BspEngine:
         )
 
         tracer = self.tracer
+        prof = self.profiler
         rnd = 0
         while True:
             # ---------------- compute phase ----------------
             t0 = env.now
-            res = app.compute(lg, state, active)
+            if prof is not None:
+                prof.enter("engine.bsp.compute")
+                try:
+                    res = app.compute(lg, state, active)
+                finally:
+                    prof.exit()
+                prof.counters.inc("engine.host_rounds")
+            else:
+                res = app.compute(lg, state, active)
             compute_cost = (
                 res.work_nodes * cpu.per_node_cost
                 + res.work_edges * cpu.per_edge_cost
@@ -371,19 +392,37 @@ class BspEngine:
         yield from layer.phase_begin(phase, out_hosts, in_hosts)
 
         # Gather: pack each pair's dirty subset (parallel across threads).
+        prof = self.profiler
+        if prof is not None:
+            prof.enter("engine.bsp.gather")
         blobs = []
         gather_cost = 0.0
         for sp in out_pairs:
             ids_mine = my_ids(sp)
             positions = np.where(dirty[ids_mine])[0].astype(np.int64)
             values = get_values(state, ids_mine[positions])
+            t0 = prof.clock() if prof is not None else 0.0
             blob = pack_updates(
                 positions, values, len(sp), app.field_bytes, phase=phase
             )
+            if prof is not None:
+                prof.leaf("comm.serialization.pack", t0)
             blobs.append((out_peer(sp), blob, sp))
             gather_cost += pack_cost(cpu, len(positions), blob.nbytes)
             self._payload_bytes[h] += blob.nbytes
             self._updates_shipped[h] += len(positions)
+        if prof is not None:
+            prof.exit()
+            blob_bytes = 0
+            blob_updates = 0
+            for _dst, blob, _sp in blobs:
+                blob_bytes += blob.nbytes
+                blob_updates += len(blob.positions)
+            ctr = prof.counters
+            lname = self.config.layer
+            ctr.inc(f"comm.{lname}.blobs", len(blobs))
+            ctr.inc(f"comm.{lname}.bytes", blob_bytes)
+            ctr.inc("engine.updates_shipped", blob_updates)
         if gather_cost > 0:
             yield env.charged_timeout(gather_cost / threads, actor=h)
 
@@ -421,6 +460,8 @@ class BspEngine:
         while pending:
             batch = yield from layer.collect_some(phase, pending)
             scatter_cost = 0.0
+            if prof is not None:
+                prof.enter("engine.bsp.scatter")
             for src, blob in batch:
                 sp = pair_by_src[src]
                 ids = their_ids(sp)[blob.positions]
@@ -428,22 +469,35 @@ class BspEngine:
                     deferred.append((src, blob, sp))
                 else:
                     if len(ids):
+                        t0 = prof.clock() if prof is not None else 0.0
                         changed = apply_values(state, ids, blob.values)
+                        if prof is not None:
+                            prof.leaf("engine.bsp.apply", t0)
                         if is_reduce and app.label_is_broadcast_field and dirty_bcast is not None:
                             dirty_bcast[ids[changed]] = True
                     layer.consume(blob)
                 scatter_cost += unpack_cost(cpu, len(ids), blob.nbytes) * cold
+            if prof is not None:
+                prof.exit()
+                prof.counters.inc("engine.blobs_scattered", len(batch))
             if scatter_cost > 0:
                 yield env.charged_timeout(scatter_cost / threads, actor=h)
         if deferred is not None:
             deferred.sort(key=lambda item: item[0])
+            if prof is not None:
+                prof.enter("engine.bsp.scatter")
             for _src, blob, sp in deferred:
                 ids = their_ids(sp)[blob.positions]
                 if len(ids):
+                    t0 = prof.clock() if prof is not None else 0.0
                     changed = apply_values(state, ids, blob.values)
+                    if prof is not None:
+                        prof.leaf("engine.bsp.apply", t0)
                     if is_reduce and app.label_is_broadcast_field and dirty_bcast is not None:
                         dirty_bcast[ids[changed]] = True
                 layer.consume(blob)
+            if prof is not None:
+                prof.exit()
         yield from layer.phase_end(phase)
 
     # ------------------------------------------------------------------

@@ -42,6 +42,12 @@ class RunMetrics:
     #: Total label updates shipped across all sync messages — Abelian's
     #: "only the updated labels" volume optimization is visible here.
     updates_shipped: int = 0
+    #: Host wall-clock seconds the run took.  The engine itself NEVER
+    #: stamps this (it would break the bit-identical guarantee for
+    #: profiled runs); callers that care (``repro run``, the serve
+    #: layer, ``repro bench-core``) stamp it after ``run()`` returns
+    #: via :meth:`stamp_wall`.  ``0.0`` means "not measured".
+    wall_seconds: float = 0.0
     #: Free-form layer counters aggregated across hosts (includes the
     #: recovery-protocol counters: retransmissions, acks, dup drops).
     layer_counters: Dict[str, int] = field(default_factory=dict)
@@ -76,9 +82,25 @@ class RunMetrics:
     def min_footprint(self) -> int:
         return min(self.footprint_per_host) if self.footprint_per_host else 0
 
-    def row(self) -> dict:
-        """Flat dict for table rendering."""
-        return {
+    def stamp_wall(self, seconds: float) -> "RunMetrics":
+        """Record host wall-clock time, caller-side (chainable).
+
+        Kept out of the engine on purpose: wall-clock is machine noise,
+        so the deterministic fields must never depend on whether it was
+        measured.
+        """
+        self.wall_seconds = float(seconds)
+        return self
+
+    def row(self, include_wall: bool = False) -> dict:
+        """Flat dict for table rendering.
+
+        ``wall_s`` is excluded by default so every table the CLI prints
+        stays byte-identical across repeat runs (the repo's stdout
+        determinism probe); surfaces whose subject *is* wall-clock
+        (``repro profile``) pass ``include_wall=True``.
+        """
+        out = {
             "app": self.app,
             "graph": self.graph,
             "layer": self.layer,
@@ -94,3 +116,6 @@ class RunMetrics:
             "mem_max_MB": round(self.max_footprint / 2**20, 3),
             "mem_min_MB": round(self.min_footprint / 2**20, 3),
         }
+        if include_wall:
+            out["wall_s"] = round(self.wall_seconds, 6)
+        return out

@@ -162,6 +162,7 @@ class PacketPool:
         the operation that armed the callback)."""
         if self.sanitizer is not None:
             self.sanitizer.on_free(self)
+        self.stats.counter("free_nowait").add()
         if thread is not None:
             local = self._local.get(thread, 0)
             if local < self.local_cache_packets:

@@ -96,6 +96,30 @@ class LciQueue:
             self.obs.register_probe(
                 "lci.queue_depth", rank, self.queue.__len__
             )
+        # Host-side profiler: the server loop reads it for progress
+        # regions; pool/server work counts are *deferred* — the pool's
+        # always-on stat registry is snapshotted at flush time instead
+        # of paying per-op increments (the alloc/free paths are the
+        # hottest host code in the LCI layer).
+        self.profiler = getattr(nic.fabric, "profiler", None)
+        if self.profiler is not None:
+            self.profiler.add_source(self._profile_counts)
+
+    def _profile_counts(self):
+        """Deferred profiler source: pool traffic + server harvests."""
+        ps = self.pool.stats
+        return (
+            ("lci.pool_acquires",
+             ps.counter_value("alloc_local_hits")
+             + ps.counter_value("alloc_global_hits")
+             + ps.counter_value("alloc_steals")),
+            ("lci.pool_alloc_failures", ps.counter_value("alloc_failures")),
+            ("lci.pool_frees",
+             ps.counter_value("free_local")
+             + ps.counter_value("free_global")
+             + ps.counter_value("free_nowait")),
+            ("lci.server_pkts", self.stats.counter_value("server_pkts")),
+        )
 
     # ------------------------------------------------------------------
     # Algorithm 1: SEND-ENQ

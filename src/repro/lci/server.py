@@ -110,9 +110,22 @@ class LciRuntime(LciQueue):
     def _server_loop(self):
         from repro.sim.engine import Interrupt
 
+        prof = self.profiler
         try:
             while not self._stopping:
-                pkt = self.nic.poll()
+                if prof is None or not self.nic.rx_queue:
+                    pkt = self.nic.poll()
+                else:
+                    # The host-side cost of one progress-engine turn:
+                    # harvesting the NIC completion.  Only this
+                    # synchronous slice can be bracketed — the rest of
+                    # the loop suspends on simulated events.  Empty
+                    # polls stay unbracketed so region call counts
+                    # equal packets harvested (== the server_pkts
+                    # stat, which feeds the lci.server_pkts counter).
+                    t0 = prof.clock()
+                    pkt = self.nic.poll()
+                    prof.leaf("lci.server.progress", t0)
                 if pkt is None:
                     yield self.nic.wait_arrival()
                     continue

@@ -119,6 +119,24 @@ class MpiEndpoint:
                 "mpi.posted_depth", rank, self.posted.__len__
             )
 
+        # Host-side profiler, discovered the same way; the matching
+        # queues get a direct reference so their traversal walks are
+        # timed.  Probe/enqueue counts are deferred: the queues keep
+        # deterministic running totals anyway, snapshotted at flush.
+        self.profiler = getattr(nic.fabric, "profiler", None)
+        if self.profiler is not None:
+            self.posted.profiler = self.profiler
+            self.unexpected.profiler = self.profiler
+            self.profiler.add_source(self._profile_counts)
+
+    def _profile_counts(self):
+        """Deferred profiler source: matching-engine work totals."""
+        return (
+            ("mpi.match_probes",
+             self.posted.probes + self.unexpected.probes),
+            ("mpi.unexpected_enqueued", self.unexpected.enqueued),
+        )
+
     # ------------------------------------------------------------------
     # Cost & locking helpers
     # ------------------------------------------------------------------

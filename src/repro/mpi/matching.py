@@ -77,6 +77,13 @@ class PostedQueue:
     def __init__(self):
         self._items: List[PostedReceive] = []
         self.max_length = 0
+        #: Running total of elements inspected across all walks —
+        #: deterministic queue state (like ``max_length``), snapshotted
+        #: by the endpoint's deferred profiler source.
+        self.probes = 0
+        #: Optional ProfileContext, attached by the endpoint when
+        #: host-side profiling is installed (pure observation).
+        self.profiler = None
 
     def __len__(self) -> int:
         return len(self._items)
@@ -95,11 +102,24 @@ class PostedQueue:
         self, src: int, tag: int
     ) -> Tuple[Optional[PostedReceive], int]:
         """First posted receive matching an arrival; (entry, inspected)."""
+        prof = self.profiler
+        if prof is None:
+            return self._walk(src, tag)
+        t0 = prof.clock()
+        try:
+            return self._walk(src, tag)
+        finally:
+            prof.leaf("mpi.matching.posted_walk", t0)
+
+    def _walk(self, src: int, tag: int) -> Tuple[Optional[PostedReceive], int]:
         for i, entry in enumerate(self._items):
             if entry.matches(src, tag):
                 del self._items[i]
+                self.probes += i + 1
                 return entry, i + 1
-        return None, len(self._items)
+        inspected = len(self._items)
+        self.probes += inspected
+        return None, inspected
 
     def cancel(self, req: MpiRequest) -> bool:
         for i, entry in enumerate(self._items):
@@ -116,16 +136,23 @@ class UnexpectedQueue:
     def __init__(self):
         self._items: List[UnexpectedMessage] = []
         self.max_length = 0
+        #: Lifetime enqueue count and walk-probe total — deterministic
+        #: queue state, snapshotted by the endpoint's profiler source.
+        self.enqueued = 0
+        self.probes = 0
         #: Optional ObsContext + owning rank, attached by the endpoint
         #: when observability is installed (pure observation).
         self.obs = None
         self.host = -1
+        #: Optional ProfileContext (same attachment path as ``obs``).
+        self.profiler = None
 
     def __len__(self) -> int:
         return len(self._items)
 
     def add(self, msg: UnexpectedMessage) -> None:
         self._items.append(msg)
+        self.enqueued += 1
         if len(self._items) > self.max_length:
             self.max_length = len(self._items)
         if self.obs is not None:
@@ -144,9 +171,24 @@ class UnexpectedQueue:
         ``remove=False`` implements probe semantics: report without
         consuming.  Returns (message-or-None, elements inspected).
         """
+        prof = self.profiler
+        if prof is None:
+            return self._walk(source, tag, remove)
+        t0 = prof.clock()
+        try:
+            return self._walk(source, tag, remove)
+        finally:
+            prof.leaf("mpi.matching.unexpected_walk", t0)
+
+    def _walk(
+        self, source: int, tag: int, remove: bool
+    ) -> Tuple[Optional[UnexpectedMessage], int]:
         for i, msg in enumerate(self._items):
             if msg.matched_by(source, tag):
                 if remove:
                     del self._items[i]
+                self.probes += i + 1
                 return msg, i + 1
-        return None, len(self._items)
+        inspected = len(self._items)
+        self.probes += inspected
+        return None, inspected

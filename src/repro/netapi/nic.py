@@ -107,6 +107,25 @@ class Nic:
         sees the packet in its receive queue (False models a pure RDMA
         write with no completion at the target, as used by MPI-RMA).
         """
+        # Packet/byte work counts come from the always-on NIC stats via
+        # a deferred profiler source (see obs.profile._fabric_counts);
+        # only the wall-clock region is paid here, in the fused leaf
+        # form (one profiler call per packet, no stack traffic).
+        prof = self.fabric.profiler
+        if prof is None:
+            return self._inject(pkt, on_local_complete, notify_target)
+        t0 = prof.clock()
+        try:
+            return self._inject(pkt, on_local_complete, notify_target)
+        finally:
+            prof.leaf("netapi.nic.inject", t0)
+
+    def _inject(
+        self,
+        pkt: Packet,
+        on_local_complete: Optional[Callable[[], None]],
+        notify_target: bool,
+    ) -> bool:
         if pkt.src != self.host:
             raise SimulationError(
                 f"packet src {pkt.src} injected from host {self.host}"
@@ -200,6 +219,16 @@ class Nic:
     # ------------------------------------------------------------------
     def deliver(self, pkt: Packet) -> None:
         """Called by the fabric when a packet reaches this host."""
+        prof = self.fabric.profiler
+        if prof is None:
+            return self._deliver(pkt)
+        t0 = prof.clock()
+        try:
+            self._deliver(pkt)
+        finally:
+            prof.leaf("netapi.nic.deliver", t0)
+
+    def _deliver(self, pkt: Packet) -> None:
         if pkt.dst != self.host:
             raise SimulationError(
                 f"packet for host {pkt.dst} delivered to host {self.host}"
@@ -274,6 +303,10 @@ class Fabric:
         #: tracing + queue probes); ``None`` keeps every hook a no-op.
         #: Pure observation — never advances time or mutates state.
         self.obs = None
+        #: Optional :class:`repro.obs.profile.ProfileContext` (host-side
+        #: region profiler + deterministic work counters); ``None``
+        #: keeps every hook a no-op.  Same contract as ``obs``.
+        self.profiler = None
         self._nics = [
             Nic(env, self, h, machine.nic, StatRegistry(f"{stats_prefix}.nic{h}"))
             for h in range(num_hosts)

@@ -5,8 +5,11 @@ payload gets a deterministic trace id at the comm-layer API, stage
 events flow from the NIC, the MPI matching engine, the LCI server, and
 the comm layers, a sampler records queue-depth time series, and the
 critical-path analyzer attributes end-to-end latency to protocol
-stages (``repro run --obs`` / ``repro explain``).  See
-docs/OBSERVABILITY.md.
+stages (``repro run --obs`` / ``repro explain``).  Host-side
+*wall-clock* profiling — nestable regions over the simulator's hot
+paths plus deterministic work counters — lives in
+:mod:`repro.obs.profile` (``repro profile`` / ``repro bench-core``).
+See docs/OBSERVABILITY.md.
 """
 
 from repro.obs.context import (
@@ -36,8 +39,16 @@ from repro.obs.export import (
     to_prometheus,
 )
 from repro.obs.latency import LatencySummary, percentile_nearest_rank
+from repro.obs.profile import (
+    CounterRegistry,
+    ProfileContext,
+    RegionProfiler,
+    wall_now,
+)
 from repro.obs.validate import (
     validate_chrome_trace,
+    validate_collapsed,
+    validate_profile_doc,
     validate_prometheus,
     validate_timeline,
 )
@@ -66,6 +77,12 @@ __all__ = [
     "validate_timeline",
     "validate_chrome_trace",
     "validate_prometheus",
+    "validate_collapsed",
+    "validate_profile_doc",
     "LatencySummary",
     "percentile_nearest_rank",
+    "ProfileContext",
+    "RegionProfiler",
+    "CounterRegistry",
+    "wall_now",
 ]

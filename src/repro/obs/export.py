@@ -137,14 +137,17 @@ def _labels(pairs: List[Tuple[str, object]]) -> str:
     return "{" + inner + "}"
 
 
-def to_prometheus(timeline: dict) -> str:
+def to_prometheus(timeline: dict, counters: Dict[str, int] = None) -> str:
     """Prometheus exposition text for one run's timeline.
 
     Families: ``repro_obs_stage_seconds_total`` (per layer/stage),
     ``repro_obs_messages_total`` (traced messages per layer),
     ``repro_obs_probe_peak`` (max sampled value per probe/host),
     ``repro_obs_stall_seconds_total`` (per kind/host), plus run-level
-    gauges recovered from the timeline's ``meta``.  Lines are sorted
+    gauges recovered from the timeline's ``meta``.  ``counters`` (a
+    :meth:`CounterRegistry.as_dict` mapping from the host-side
+    profiler) adds a ``repro_work_counter_total`` family so serve
+    deployments expose work counts alongside latency.  Lines are sorted
     within each family; output is deterministic.
     """
     timelines = build_timelines(timeline)
@@ -208,6 +211,16 @@ def to_prometheus(timeline: dict) -> str:
                 f"{stalls[(kind, host)]:.12g}"
             )
 
+    if counters:
+        lines.append(
+            "# HELP repro_work_counter_total Deterministic host-side work "
+            "counters (events, packets, matching probes, pool traffic)."
+        )
+        lines.append("# TYPE repro_work_counter_total counter")
+        for name in sorted(counters):
+            labels = _labels([("counter", name)])
+            lines.append(f"repro_work_counter_total{labels} {int(counters[name])}")
+
     meta = timeline.get("meta", {})
     metric_meta = [
         ("total_seconds", "repro_run_total_seconds"),
@@ -225,7 +238,8 @@ def to_prometheus(timeline: dict) -> str:
     return "\n".join(lines) + "\n"
 
 
-def save_prometheus(path: str, timeline: dict) -> str:
+def save_prometheus(path: str, timeline: dict,
+                    counters: Dict[str, int] = None) -> str:
     """Atomic text write of the Prometheus dump."""
     directory = os.path.dirname(os.path.abspath(path))
     fd, tmp = tempfile.mkstemp(
@@ -233,7 +247,7 @@ def save_prometheus(path: str, timeline: dict) -> str:
     )
     try:
         with os.fdopen(fd, "w") as f:
-            f.write(to_prometheus(timeline))
+            f.write(to_prometheus(timeline, counters))
         os.replace(tmp, path)
     except BaseException:
         try:

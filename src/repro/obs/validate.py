@@ -18,6 +18,8 @@ __all__ = [
     "validate_timeline",
     "validate_chrome_trace",
     "validate_prometheus",
+    "validate_collapsed",
+    "validate_profile_doc",
 ]
 
 _KNOWN_STAGES = frozenset(STAGES)
@@ -178,4 +180,91 @@ def validate_prometheus(text: str) -> List[str]:
         seen_lines.add(key)
     if not text.endswith("\n"):
         errs.append("exposition must end with a newline")
+    return errs
+
+
+_COLLAPSED_LINE = re.compile(
+    r"^[^\s;]+(?:;[^\s;]+)* \d+$"
+)
+
+
+def validate_collapsed(text: str) -> List[str]:
+    """Check collapsed-stack (flamegraph) text: ``a;b;c <count>`` lines.
+
+    The grammar flamegraph.pl / speedscope / inferno all accept: one
+    stack per line, frames joined by ``;`` (no spaces or empty frames),
+    a single space, then a non-negative integer count.
+    """
+    errs: List[str] = []
+    if not isinstance(text, str):
+        return ["collapsed export is not text"]
+    seen = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            errs.append(f"line {lineno}: empty line")
+            continue
+        if not _COLLAPSED_LINE.match(line):
+            errs.append(f"line {lineno}: not 'frame(;frame)* count': {line!r}")
+            continue
+        stack = line.rsplit(" ", 1)[0]
+        if stack in seen:
+            errs.append(f"line {lineno}: duplicate stack {stack!r}")
+        seen.add(stack)
+    if text and not text.endswith("\n"):
+        errs.append("collapsed export must end with a newline")
+    return errs
+
+
+def validate_profile_doc(doc) -> List[str]:
+    """Check a profile JSON document (`ProfileContext.report_dict`)."""
+    errs: List[str] = []
+    if not isinstance(doc, dict):
+        return ["profile is not a JSON object"]
+    if doc.get("kind") != "repro-profile":
+        errs.append(f"kind is {doc.get('kind')!r}, expected 'repro-profile'")
+    if doc.get("version") != 1:
+        errs.append(f"unsupported version {doc.get('version')!r}")
+    regions = doc.get("regions")
+    if not isinstance(regions, list):
+        errs.append("regions is not a list")
+        regions = []
+    paths = set()
+    for i, row in enumerate(regions):
+        if not isinstance(row, dict):
+            errs.append(f"region {i}: not an object")
+            continue
+        for key in ("path", "name", "depth", "calls", "cum_s", "self_s"):
+            if key not in row:
+                errs.append(f"region {i}: missing {key!r}")
+        path = row.get("path")
+        if not (isinstance(path, str) and path):
+            errs.append(f"region {i}: bad path {path!r}")
+        elif path in paths:
+            errs.append(f"region {i}: duplicate path {path!r}")
+        else:
+            paths.add(path)
+            if not path.endswith(str(row.get("name"))):
+                errs.append(f"region {i}: path does not end with name")
+        calls = row.get("calls")
+        if not (isinstance(calls, int) and calls >= 0):
+            errs.append(f"region {i}: bad call count {calls!r}")
+        cum, self_s = row.get("cum_s"), row.get("self_s")
+        for key, v in (("cum_s", cum), ("self_s", self_s)):
+            if not (isinstance(v, (int, float)) and v >= 0):
+                errs.append(f"region {i}: bad {key} {v!r}")
+        if (
+            isinstance(cum, (int, float)) and isinstance(self_s, (int, float))
+            and self_s > cum + 1e-9
+        ):
+            errs.append(f"region {i}: self time exceeds cumulative")
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        errs.append("counters is not an object")
+        counters = {}
+    for name, value in counters.items():
+        if not (isinstance(value, int) and value >= 0):
+            errs.append(f"counter {name!r}: not a non-negative int")
+    fp = doc.get("fingerprint")
+    if not (isinstance(fp, str) and re.fullmatch(r"[0-9a-f]{16}", fp or "")):
+        errs.append(f"bad fingerprint {fp!r}")
     return errs

@@ -36,6 +36,7 @@ from repro.engine.bsp import symmetrize
 from repro.faults import LostCompletionError, get_plan
 from repro.graph.partition import make_partition
 from repro.obs.latency import LatencySummary
+from repro.obs.profile import wall_now
 from repro.sanitize.runtime import SanitizerError
 from repro.serve.admission import AdmissionConfig, AdmissionController
 from repro.serve.cache import ResultCache
@@ -80,8 +81,12 @@ class ServeConfig:
 class ServeEngine:
     """One resident graph + scheduler + cache + admission controller."""
 
-    def __init__(self, config: ServeConfig, obs_config=None):
+    def __init__(self, config: ServeConfig, obs_config=None, profile=None):
         self.config = config
+        #: Optional :class:`repro.obs.profile.ProfileContext` shared by
+        #: every batch engine — regions and work counters accumulate
+        #: across batches into one service-level profile.
+        self.profile = profile
         #: Resident input: generated once, frozen, partitioned once.
         self.graph = cached_graph(config.graph, config.scale, config.seed, True)
         policy = "cvc" if config.system == "abelian" else "edge-cut"
@@ -142,6 +147,7 @@ class ServeEngine:
         """
         if queries is not None:
             self.submit_many(queries)
+        wall_start = wall_now()
         stream = sorted(self._inbox, key=lambda q: (q.arrival, q.qid))
         self._inbox = []
         i = 0
@@ -196,6 +202,7 @@ class ServeEngine:
             messages=self._messages,
             message_bytes=self._message_bytes,
             sanitizer_violations=list(self.sanitizer_violations),
+            wall_seconds=wall_now() - wall_start,
         )
 
     def run_tape(self, spec: TapeSpec) -> "ServeReport":
@@ -236,7 +243,7 @@ class ServeEngine:
             obs_ctx = ObsContext(cfg)
         eng = build_engine(
             self._scenario, fault_plan=self._plan, obs=obs_ctx,
-            app=app, graph=graph, partition=part,
+            app=app, graph=graph, partition=part, profile=self.profile,
         )
         try:
             metrics = eng.run()
@@ -321,6 +328,9 @@ class ServeReport:
     message_bytes: int
     #: Warn-mode sanitizer violations from every executed batch.
     sanitizer_violations: List[dict] = field(default_factory=list)
+    #: Host wall-clock seconds the drain took (machine-dependent, so
+    #: kept OUT of the deterministic document unless asked for).
+    wall_seconds: float = 0.0
 
     # ------------------------------------------------------------------
     def _status(self, status: str) -> List[QueryResult]:
@@ -331,9 +341,15 @@ class ServeReport:
             [r.latency for r in self._status("ok")]
         )
 
-    def as_dict(self) -> dict:
+    def as_dict(self, include_wall: bool = False) -> dict:
         """Deterministic report document (byte-stable under json.dumps
-        with sorted keys for identical drains)."""
+        with sorted keys for identical drains).
+
+        ``include_wall`` adds a machine-dependent ``wall`` block (host
+        seconds, queries per wall second) — useful in operator-facing
+        reports, excluded by default so identical drains still produce
+        identical documents.
+        """
         ok = self._status("ok")
         by_kind = {}
         for kind in QUERY_KINDS:
@@ -344,7 +360,7 @@ class ServeReport:
         qps = len(ok) / self.clock if self.clock > 0 else 0.0
         mps = self.messages / self.exec_seconds if self.exec_seconds > 0 \
             else 0.0
-        return {
+        doc = {
             "config": {
                 "graph": f"{self.config.graph}{self.config.scale}",
                 "hosts": self.config.hosts,
@@ -384,6 +400,15 @@ class ServeReport:
             "sanitizer_violations": len(self.sanitizer_violations),
             "results": [r.as_row() for r in self.results],
         }
+        if include_wall:
+            wall_qps = (
+                len(ok) / self.wall_seconds if self.wall_seconds > 0 else 0.0
+            )
+            doc["wall"] = {
+                "wall_seconds": round(self.wall_seconds, 6),
+                "queries_per_wall_sec": round(wall_qps, 3),
+            }
+        return doc
 
 
 def format_serve_report(report: ServeReport) -> str:

@@ -318,6 +318,14 @@ class Environment:
         #: :meth:`charged_timeout` dilates CPU-work delays through its
         #: straggler model; ``None`` keeps the hook a no-op.
         self.faults = None
+        #: Optional :class:`repro.obs.profile.ProfileContext`.  When
+        #: installed, :meth:`run` brackets the dispatch loop in a
+        #: ``sim.engine.run`` region and folds event/heap work counts
+        #: into the counter registry on exit.  The hot path (``step`` /
+        #: ``_schedule_event``) is untouched either way: schedules are
+        #: already counted by ``_seq`` and fires by the run loop, so
+        #: profiling adds zero per-event cost.
+        self.profiler = None
 
     @property
     def now(self) -> float:
@@ -384,20 +392,34 @@ class Environment:
         ``max_events`` is a safety valve against accidental livelock in
         polling loops; exceeding it raises :class:`SimulationError`.
         """
+        prof = self.profiler
+        if prof is not None:
+            seq0 = self._seq
+            prof.enter("sim.engine.run")
         count = 0
         heap = self._heap
-        while heap:
-            if until is not None and heap[0][0] > until:
+        try:
+            while heap:
+                if until is not None and heap[0][0] > until:
+                    self._now = until
+                    return
+                self.step()
+                count += 1
+                if max_events is not None and count > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} at t={self._now:.9f}"
+                    )
+            if until is not None:
                 self._now = until
-                return
-            self.step()
-            count += 1
-            if max_events is not None and count > max_events:
-                raise SimulationError(
-                    f"exceeded max_events={max_events} at t={self._now:.9f}"
-                )
-        if until is not None:
-            self._now = until
+        finally:
+            if prof is not None:
+                prof.exit()
+                scheduled = self._seq - seq0
+                ctr = prof.counters
+                ctr.inc("sim.events_scheduled", scheduled)
+                ctr.inc("sim.events_fired", count)
+                # Every schedule pushes; every fire pops.
+                ctr.inc("sim.heap_ops", scheduled + count)
 
     def run_process(self, proc: Process, until: Optional[float] = None) -> Any:
         """Run until ``proc`` completes and return its value."""

@@ -702,6 +702,9 @@ def test_cli_run_exits_3_on_warn_mode_violations(monkeypatch, capsys):
         def row(self):
             return {"app": "bfs", "layer": "lci"}
 
+        def stamp_wall(self, wall_seconds):
+            return self
+
     class FakeEngine:
         def run(self):
             return FakeMetrics()
