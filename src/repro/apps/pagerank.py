@@ -66,8 +66,21 @@ class PageRank(VertexProgram):
         dst = lg.indices
         if len(dst) == 0:
             return ComputeResult(np.empty(0, dtype=np.int64), 0, lg.num_local)
-        np.add.at(partial, dst, contrib[src])
-        updated = np.unique(dst)
+        # partial is provably all-zero here (masters reset in post_reduce,
+        # shipped mirrors in reset_after_reduce_send, and every position
+        # the edge scan touches is shipped), so the scatter-add over the
+        # static edge list is a bincount — same element order, same
+        # float additions, bit-identical result at a fraction of the cost
+        # of np.add.at.  The touched-vertex set is static too — the
+        # sorted unique values of lg.indices, i.e. the nonzero bins of
+        # an integer bincount — computed once and cached.
+        partial += np.bincount(dst, weights=contrib[src],
+                               minlength=partial.size)
+        updated = state.get("_pr_updated")
+        if updated is None:
+            updated = state["_pr_updated"] = np.flatnonzero(
+                np.bincount(dst)
+            ).astype(np.int64)
         return ComputeResult(updated, int(len(dst)), int(lg.num_local))
 
     # -- reduce (add) -----------------------------------------------------
@@ -75,7 +88,9 @@ class PageRank(VertexProgram):
         return state["partial"][ids]
 
     def apply_reduce(self, state, ids, values):
-        np.add.at(state["partial"], ids, values)
+        # ids within one blob are unique (np.where output), so the fancy
+        # in-place add is exactly np.add.at, without its per-element loop.
+        state["partial"][ids] += values
         return np.ones(len(ids), dtype=bool)
 
     def reset_after_reduce_send(self, state, ids) -> None:

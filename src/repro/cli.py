@@ -23,7 +23,7 @@
     python -m repro profile --app bfs --scale 10 --hosts 8 --layer lci \\
         [--top 15] [--json prof.json] [--collapsed prof.folded]
     python -m repro bench-core [--out BENCH_core.json] \\
-        [--check BENCH_core.json] [--overhead]
+        [--check BENCH_core.json] [--compare OLD.json] [--overhead]
 
 Each subcommand prints the same tables the benchmark harness produces.
 
@@ -262,9 +262,24 @@ def build_parser() -> argparse.ArgumentParser:
                             help="timed runs per scenario (min taken; "
                                  "every repeat must reproduce the "
                                  "counter fingerprint)")
+    bench_core.add_argument("--compare", metavar="PATH",
+                            dest="compare_path",
+                            help="print per-scenario events/sec and "
+                                 "msgs/sec deltas vs an older document; "
+                                 "exit 1 on sim-fingerprint mismatch")
+    bench_core.add_argument("--regress-limit", type=float, default=None,
+                            metavar="PCT",
+                            help="with --compare: exit 1 if any "
+                                 "scenario's events/sec regressed more "
+                                 "than PCT percent")
+    bench_core.add_argument("--trajectory-note", metavar="NOTE",
+                            help="with --out: carry the old file's "
+                                 "perf-trajectory points forward and "
+                                 "append this run as NOTE")
     bench_core.add_argument("--overhead", action="store_true",
                             help="also measure profiler-on vs "
-                                 "profiler-off wall-clock overhead")
+                                 "profiler-off CPU-time overhead "
+                                 "(median of paired ratios)")
     bench_core.add_argument("--overhead-limit", type=float, default=None,
                             metavar="PCT",
                             help="with --overhead: exit 1 if overhead "
@@ -714,12 +729,23 @@ def _cmd_profile(args) -> int:
 
 
 def _cmd_bench_core(args) -> int:
+    import json as _json
+
     from repro.bench.core_bench import (
         bench_core_to_json,
         check_core_against_file,
+        compare_core_perf,
         core_benchmark,
         measure_overhead,
+        with_trajectory,
     )
+
+    def _load(path):
+        try:
+            with open(path) as fh:
+                return _json.load(fh)
+        except (OSError, ValueError):
+            return None
 
     try:
         doc = core_benchmark(repeats=args.repeats)
@@ -727,6 +753,8 @@ def _cmd_bench_core(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     if args.out:
+        if args.trajectory_note is not None:
+            doc = with_trajectory(doc, _load(args.out), args.trajectory_note)
         with open(args.out, "w") as fh:
             fh.write(bench_core_to_json(doc))
         print(f"benchmark written to {args.out}")
@@ -753,6 +781,29 @@ def _cmd_bench_core(args) -> int:
             return 1
         print(f"deterministic blocks match committed {args.check} "
               "(wall-clock ignored)")
+    if args.compare_path:
+        old = _load(args.compare_path)
+        if old is None:
+            print(f"error: cannot read benchmark {args.compare_path}",
+                  file=sys.stderr)
+            return 1
+        lines, errors, deltas = compare_core_perf(doc, old)
+        for line in lines:
+            print(f"perf delta: {line}")
+        for err in errors:
+            print(f"error: {err}", file=sys.stderr)
+        if errors:
+            return 1
+        if args.regress_limit is not None:
+            bad = {
+                label: pct for label, pct in deltas.items()
+                if pct < -args.regress_limit
+            }
+            for label, pct in sorted(bad.items()):
+                print(f"error: {label}: events/sec regressed {pct:+.1f}% "
+                      f"(limit -{args.regress_limit}%)", file=sys.stderr)
+            if bad:
+                rc = 1
     if args.overhead:
         o = measure_overhead()
         print(f"profiler overhead on {o['scenario']}: "

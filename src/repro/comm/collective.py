@@ -54,12 +54,12 @@ class SimBarrier:
             release, self._release = self._release, Event(self.env)
             release.succeed(None)
             if self.cost > 0:
-                yield self.env.timeout(self.cost)
+                yield self.cost
             return
         release = self._release
         yield release
         if self.cost > 0:
-            yield self.env.timeout(self.cost)
+            yield self.cost
 
 
 class AllReducer:

@@ -87,6 +87,11 @@ class ProbeCommLayer(CommLayer):
         self._pending_recvs: List[MpiRequest] = []
         self._stopping = False
         self._thread_token = f"comm-thread-{host}"
+        self._atomic = machine.cpu.atomic_op
+        self._c_blobs_sent = self.stats.counter("blobs_sent")
+        self._c_agg_flushed = self.stats.counter("aggregates_flushed")
+        self._c_mpi_isends = self.stats.counter("mpi_isends")
+        self._c_agg_received = self.stats.counter("aggregates_received")
         self._comm_proc = env.process(
             self._comm_thread(), name=f"probe-comm-{host}"
         )
@@ -128,7 +133,7 @@ class ProbeCommLayer(CommLayer):
     def send(self, dst: int, blob: UpdateBlob):
         """Hand a gathered buffer to the communication machinery."""
         self.buf_alloc(blob.nbytes)
-        self.stats.counter("blobs_sent").add()
+        self._c_blobs_sent.add()
         trace = self.trace_send(dst, blob)
         if self.inline_sends:
             # Gemini mode: this thread calls MPI itself (THREAD_MULTIPLE).
@@ -139,7 +144,7 @@ class ProbeCommLayer(CommLayer):
             req.on_complete(lambda _r, n=blob.nbytes: self.buf_free(n))
             return
         # Enqueue into the MPSC queue: one atomic.
-        yield self.env.timeout(self.machine.cpu.atomic_op)
+        yield self._atomic
         self._sendq.append((dst, blob))
         self._kick()
 
@@ -167,6 +172,8 @@ class ProbeCommLayer(CommLayer):
         env = self.env
         ep = self.ep
         token = self._thread_token
+        atomic = self._atomic
+        eager_limit = ep.config.eager_limit
         while not self._stopping:
             try:
                 did_work = False
@@ -174,7 +181,7 @@ class ProbeCommLayer(CommLayer):
                 # 1. Drain the MPSC send queue into aggregates.
                 while self._sendq:
                     dst, blob = self._sendq.pop(0)
-                    yield env.timeout(self.machine.cpu.atomic_op)
+                    yield atomic
                     did_work = True
                     if not self.buffered:
                         yield from self._isend(dst, [blob], blob.nbytes)
@@ -188,7 +195,7 @@ class ProbeCommLayer(CommLayer):
                     if self.obs is not None and tr is not None:
                         self.obs.emit(tr, "agg", self.host,
                                       dst=dst, agg_bytes=agg.nbytes)
-                    if agg.nbytes >= ep.config.eager_limit:
+                    if agg.nbytes >= eager_limit:
                         yield from self._flush_dst(dst)
 
                 # 2. Flush on request or timeout.
@@ -269,7 +276,7 @@ class ProbeCommLayer(CommLayer):
         if agg is None or not agg.items:
             return
         yield from self._isend(dst, agg.items, agg.nbytes)
-        self.stats.counter("aggregates_flushed").add()
+        self._c_agg_flushed.add()
 
     def _isend(self, dst: int, items: List[UpdateBlob], nbytes: int):
         msg_trace = None
@@ -292,7 +299,7 @@ class ProbeCommLayer(CommLayer):
             thread=self._thread_token,
             trace=msg_trace,
         )
-        self.stats.counter("mpi_isends").add()
+        self._c_mpi_isends.add()
         if req.done:
             self.buf_free(nbytes)
         else:
@@ -314,7 +321,7 @@ class ProbeCommLayer(CommLayer):
                     self.obs.emit(tr, "complete", self.host,
                                   src=req.status.source)
             self._deliver(req.status.source, blob)
-        self.stats.counter("aggregates_received").add()
+        self._c_agg_received.add()
 
     # ------------------------------------------------------------------
     def shutdown(self) -> None:

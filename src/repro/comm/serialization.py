@@ -16,7 +16,6 @@ updates), while ``nbytes`` is the simulated wire size used for timing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 import numpy as np
 
 __all__ = ["UpdateBlob", "pack_updates", "unpack_updates", "HEADER_BYTES"]
@@ -25,26 +24,53 @@ __all__ = ["UpdateBlob", "pack_updates", "unpack_updates", "HEADER_BYTES"]
 HEADER_BYTES = 16
 
 
-@dataclass
 class UpdateBlob:
-    """A serialized batch of label updates for one sync pair."""
+    """A serialized batch of label updates for one sync pair.
 
-    #: Positions (indices into the SyncPair arrays) of updated elements.
-    positions: np.ndarray
-    #: Updated values, aligned with ``positions``.
-    values: np.ndarray
-    #: Length of the sync pair (for bitset sizing on the decode side).
-    pair_len: int
-    #: Metadata encoding chosen: "bitset" or "indices".
-    meta_encoding: str
-    #: Simulated wire bytes of the whole blob.
-    nbytes: int
-    #: Phase key for demultiplexing at the receiver (round, pattern, ...).
-    phase: object = None
+    A plain ``__slots__`` record: one blob is built per (pair, field)
+    batch per round, which makes this one of the hottest small objects
+    in a run.
+    """
+
+    __slots__ = (
+        "positions", "values", "pair_len", "meta_encoding", "nbytes",
+        "phase", "trace_id",
+    )
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        values: np.ndarray,
+        pair_len: int,
+        meta_encoding: str,
+        nbytes: int,
+        phase: object = None,
+    ):
+        #: Positions (indices into the SyncPair arrays) of updated elements.
+        self.positions = positions
+        #: Updated values, aligned with ``positions``.
+        self.values = values
+        #: Length of the sync pair (for bitset sizing on the decode side).
+        self.pair_len = pair_len
+        #: Metadata encoding chosen: "bitset" or "indices".
+        self.meta_encoding = meta_encoding
+        #: Simulated wire bytes of the whole blob.
+        self.nbytes = nbytes
+        #: Phase key for demultiplexing at the receiver (round, pattern, ...).
+        self.phase = phase
+        #: Observability trace id, stamped by CommLayer.trace_send.
+        self.trace_id = None
 
     @property
     def count(self) -> int:
         return len(self.positions)
+
+    def __repr__(self) -> str:
+        return (
+            f"UpdateBlob(count={len(self.positions)}, "
+            f"pair_len={self.pair_len}, enc={self.meta_encoding!r}, "
+            f"nbytes={self.nbytes}, phase={self.phase!r})"
+        )
 
 
 def metadata_bytes(num_updates: int, pair_len: int) -> (int, str):

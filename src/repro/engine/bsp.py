@@ -39,6 +39,7 @@ from repro.graph.csr import CsrGraph
 from repro.graph.partition import make_partition
 from repro.graph.partition.proxies import Partition
 from repro.netapi.nic import Fabric
+from repro.obs.profile import LEAF_SAMPLE_MASK, LEAF_SAMPLE_STRIDE
 from repro.sanitize.runtime import SanitizerContext, resolve_mode
 from repro.sim.engine import Environment
 from repro.sim.machine import MachineModel, stampede2
@@ -178,8 +179,29 @@ class BspEngine:
         # (and must precede the layers so matching queues and packet
         # pools pick up their counter hooks at construction).
         self.profiler = config.profile
+        # Engine work totals are plain instance ints bumped on the hot
+        # path and folded into the counter registry by a deferred source
+        # at snapshot time — the same never-touch-the-registry-per-op
+        # pattern the NIC and matching queues use.
+        self._t_host_rounds = 0
+        self._t_blobs = 0
+        self._t_blob_bytes = 0
+        self._t_updates = 0
+        self._t_scattered = 0
+        # [cum_seconds, calls] cells for the per-blob/per-round leaf
+        # regions, folded into the region tree by a deferred leaf
+        # source.  The per-blob cells (pack/apply) sample the clock
+        # every LEAF_SAMPLE_STRIDE'th call; per-phase cells are fully
+        # timed.
+        self._r_compute = [0.0, 0]
+        self._r_gather = [0.0, 0]
+        self._r_pack = [0.0, 0]
+        self._r_scatter = [0.0, 0]
+        self._r_apply = [0.0, 0]
         if self.profiler is not None:
             self.profiler.install(self.env, self.fabric)
+            self.profiler.add_source(self._profile_counts)
+            self.profiler.add_leaf_source(self._profile_regions)
         self.layers: List[CommLayer] = make_layers(
             config.layer, self.env, self.fabric, config.machine,
             **config.layer_kwargs,
@@ -206,9 +228,49 @@ class BspEngine:
         self._bcast_in = [p.bcast_in(h) for h in range(config.num_hosts)]
         self._has_reduce = bool(p.reduce_pairs)
         self._has_bcast = bool(p.bcast_pairs)
+        # Per-(host, pattern) sync-phase geometry (peer lists, id arrays),
+        # computed lazily on the first round and reused every round after.
+        self._sync_cache = {}
         self.tracer = config.tracer
         if self.tracer is not None and self.tracer.env is None:
             self.tracer.env = self.env
+
+    def _profile_counts(self):
+        """Deferred profiler source: engine-level work totals.
+
+        Reported as running totals so repeated flushes are idempotent;
+        values are identical to what per-phase registry increments would
+        have produced, without the hot-path dict/format traffic.
+        """
+        lname = self.config.layer
+        return (
+            ("engine.host_rounds", self._t_host_rounds),
+            (f"comm.{lname}.blobs", self._t_blobs),
+            (f"comm.{lname}.bytes", self._t_blob_bytes),
+            ("engine.updates_shipped", self._t_updates),
+            ("engine.blobs_scattered", self._t_scattered),
+        )
+
+    def _profile_regions(self):
+        """Deferred leaf-region source: per-blob/per-round timing cells.
+
+        All of these regions run synchronously inside the event loop
+        (no yields between their clock reads), so their nesting is known
+        statically and the whole subtree can be folded in at snapshot
+        time instead of paying enter/exit stack traffic per phase.
+        """
+        return (
+            ("sim.engine.run", "engine.bsp.compute",
+             self._r_compute[0], self._r_compute[1]),
+            ("sim.engine.run", "engine.bsp.gather",
+             self._r_gather[0], self._r_gather[1]),
+            ("sim.engine.run;engine.bsp.gather", "comm.serialization.pack",
+             self._r_pack[0] * LEAF_SAMPLE_STRIDE, self._r_pack[1]),
+            ("sim.engine.run", "engine.bsp.scatter",
+             self._r_scatter[0], self._r_scatter[1]),
+            ("sim.engine.run;engine.bsp.scatter", "engine.bsp.apply",
+             self._r_apply[0] * LEAF_SAMPLE_STRIDE, self._r_apply[1]),
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -279,12 +341,14 @@ class BspEngine:
             # ---------------- compute phase ----------------
             t0 = env.now
             if prof is not None:
-                prof.enter("engine.bsp.compute")
+                r_compute = self._r_compute
+                pt0 = prof.clock()
                 try:
                     res = app.compute(lg, state, active)
                 finally:
-                    prof.exit()
-                prof.counters.inc("engine.host_rounds")
+                    r_compute[0] += prof.clock() - pt0
+                    r_compute[1] += 1
+                self._t_host_rounds += 1
             else:
                 res = app.compute(lg, state, active)
             compute_cost = (
@@ -370,59 +434,79 @@ class BspEngine:
         app = self.app
         cpu = self.config.machine.cpu
         threads = self.compute_threads
-        part = self.partition
 
+        # Phase geometry is static across rounds: peer hosts and the
+        # sender/receiver id arrays per sync pair only depend on the
+        # partition.  Resolve it once per (host, pattern).
+        cache = self._sync_cache.get((h, is_reduce))
+        if cache is None:
+            if is_reduce:
+                # sender ships mirror_ids, receiver applies at master_ids
+                out = [(sp.master_host, sp.mirror_ids, sp) for sp in out_pairs]
+                in_map = {sp.mirror_host: sp.master_ids for sp in in_pairs}
+                in_hosts = [sp.mirror_host for sp in in_pairs]
+            else:
+                out = [(sp.mirror_host, sp.master_ids, sp) for sp in out_pairs]
+                in_map = {sp.master_host: sp.mirror_ids for sp in in_pairs}
+                in_hosts = [sp.master_host for sp in in_pairs]
+            out_hosts = [dst for dst, _ids, _sp in out]
+            cache = (out, out_hosts, in_hosts, in_map)
+            self._sync_cache[(h, is_reduce)] = cache
+        out, out_hosts, in_hosts, in_map = cache
         if is_reduce:
-            out_peer = lambda sp: sp.master_host
-            in_peer = lambda sp: sp.mirror_host
-            my_ids = lambda sp: sp.mirror_ids      # ids on the sender
-            their_ids = lambda sp: sp.master_ids   # ids on the receiver
             get_values = app.reduce_values
             apply_values = app.apply_reduce
         else:
-            out_peer = lambda sp: sp.mirror_host
-            in_peer = lambda sp: sp.master_host
-            my_ids = lambda sp: sp.master_ids
-            their_ids = lambda sp: sp.mirror_ids
             get_values = app.bcast_values
             apply_values = app.apply_bcast
-
-        out_hosts = [out_peer(sp) for sp in out_pairs]
-        in_hosts = [in_peer(sp) for sp in in_pairs]
         yield from layer.phase_begin(phase, out_hosts, in_hosts)
 
         # Gather: pack each pair's dirty subset (parallel across threads).
         prof = self.profiler
         if prof is not None:
-            prof.enter("engine.bsp.gather")
+            pclock = prof.clock
+            r_pack, r_apply = self._r_pack, self._r_apply
+            g0 = pclock()
         blobs = []
         gather_cost = 0.0
-        for sp in out_pairs:
-            ids_mine = my_ids(sp)
+        for dst, ids_mine, sp in out:
             positions = np.where(dirty[ids_mine])[0].astype(np.int64)
             values = get_values(state, ids_mine[positions])
-            t0 = prof.clock() if prof is not None else 0.0
-            blob = pack_updates(
-                positions, values, len(sp), app.field_bytes, phase=phase
-            )
-            if prof is not None:
-                prof.leaf("comm.serialization.pack", t0)
-            blobs.append((out_peer(sp), blob, sp))
+            if prof is None:
+                blob = pack_updates(
+                    positions, values, len(sp), app.field_bytes, phase=phase
+                )
+            else:
+                n = r_pack[1] + 1
+                r_pack[1] = n
+                if n & LEAF_SAMPLE_MASK:
+                    blob = pack_updates(
+                        positions, values, len(sp), app.field_bytes,
+                        phase=phase,
+                    )
+                else:
+                    t0 = pclock()
+                    blob = pack_updates(
+                        positions, values, len(sp), app.field_bytes,
+                        phase=phase,
+                    )
+                    r_pack[0] += pclock() - t0
+            blobs.append((dst, blob, ids_mine))
             gather_cost += pack_cost(cpu, len(positions), blob.nbytes)
             self._payload_bytes[h] += blob.nbytes
             self._updates_shipped[h] += len(positions)
         if prof is not None:
-            prof.exit()
+            r_gather = self._r_gather
+            r_gather[0] += pclock() - g0
+            r_gather[1] += 1
             blob_bytes = 0
             blob_updates = 0
-            for _dst, blob, _sp in blobs:
+            for _dst, blob, _ids in blobs:
                 blob_bytes += blob.nbytes
                 blob_updates += len(blob.positions)
-            ctr = prof.counters
-            lname = self.config.layer
-            ctr.inc(f"comm.{lname}.blobs", len(blobs))
-            ctr.inc(f"comm.{lname}.bytes", blob_bytes)
-            ctr.inc("engine.updates_shipped", blob_updates)
+            self._t_blobs += len(blobs)
+            self._t_blob_bytes += blob_bytes
+            self._t_updates += blob_updates
         if gather_cost > 0:
             yield env.charged_timeout(gather_cost / threads, actor=h)
 
@@ -431,20 +515,20 @@ class BspEngine:
             # host's thread count; partner counts never exceed it here).
             sends = [
                 env.process(layer.send(dst, blob), name=f"send-{h}-{dst}")
-                for dst, blob, _sp in blobs
+                for dst, blob, _ids in blobs
             ]
             yield env.all_of(sends)
         else:
-            for dst, blob, _sp in blobs:
+            for dst, blob, _ids in blobs:
                 yield from layer.send(dst, blob)
         if is_reduce:
-            for dst, blob, sp in blobs:
+            for _dst, blob, ids_mine in blobs:
                 if len(blob.positions):
                     app.reset_after_reduce_send(
-                        state, my_ids(sp)[blob.positions]
+                        state, ids_mine[blob.positions]
                     )
-        for sp in out_pairs:
-            dirty[my_ids(sp)] = False
+        for _dst, ids_mine, _sp in out:
+            dirty[ids_mine] = False
         yield from layer.flush(phase)
 
         # Scatter arrivals as they come (arbitrary order).  Programs with
@@ -453,7 +537,6 @@ class BspEngine:
         # costs are still charged at arrival time, so the schedule (and
         # every timing metric) is identical; only the floating-point
         # reduction order becomes canonical.
-        pair_by_src = {in_peer(sp): sp for sp in in_pairs}
         pending = set(in_hosts)
         cold = cpu.cold_read_factor if layer.receive_buffer_cold else 1.0
         deferred = [] if app.ordered_scatter else None
@@ -461,43 +544,63 @@ class BspEngine:
             batch = yield from layer.collect_some(phase, pending)
             scatter_cost = 0.0
             if prof is not None:
-                prof.enter("engine.bsp.scatter")
+                s0 = pclock()
             for src, blob in batch:
-                sp = pair_by_src[src]
-                ids = their_ids(sp)[blob.positions]
+                ids = in_map[src][blob.positions]
                 if deferred is not None:
-                    deferred.append((src, blob, sp))
+                    deferred.append((src, blob, ids))
                 else:
                     if len(ids):
-                        t0 = prof.clock() if prof is not None else 0.0
-                        changed = apply_values(state, ids, blob.values)
-                        if prof is not None:
-                            prof.leaf("engine.bsp.apply", t0)
+                        if prof is None:
+                            changed = apply_values(state, ids, blob.values)
+                        else:
+                            n = r_apply[1] + 1
+                            r_apply[1] = n
+                            if n & LEAF_SAMPLE_MASK:
+                                changed = apply_values(
+                                    state, ids, blob.values
+                                )
+                            else:
+                                t0 = pclock()
+                                changed = apply_values(
+                                    state, ids, blob.values
+                                )
+                                r_apply[0] += pclock() - t0
                         if is_reduce and app.label_is_broadcast_field and dirty_bcast is not None:
                             dirty_bcast[ids[changed]] = True
                     layer.consume(blob)
                 scatter_cost += unpack_cost(cpu, len(ids), blob.nbytes) * cold
             if prof is not None:
-                prof.exit()
-                prof.counters.inc("engine.blobs_scattered", len(batch))
+                r_scatter = self._r_scatter
+                r_scatter[0] += pclock() - s0
+                r_scatter[1] += 1
+                self._t_scattered += len(batch)
             if scatter_cost > 0:
                 yield env.charged_timeout(scatter_cost / threads, actor=h)
         if deferred is not None:
             deferred.sort(key=lambda item: item[0])
             if prof is not None:
-                prof.enter("engine.bsp.scatter")
-            for _src, blob, sp in deferred:
-                ids = their_ids(sp)[blob.positions]
+                s0 = pclock()
+            for _src, blob, ids in deferred:
                 if len(ids):
-                    t0 = prof.clock() if prof is not None else 0.0
-                    changed = apply_values(state, ids, blob.values)
-                    if prof is not None:
-                        prof.leaf("engine.bsp.apply", t0)
+                    if prof is None:
+                        changed = apply_values(state, ids, blob.values)
+                    else:
+                        n = r_apply[1] + 1
+                        r_apply[1] = n
+                        if n & LEAF_SAMPLE_MASK:
+                            changed = apply_values(state, ids, blob.values)
+                        else:
+                            t0 = pclock()
+                            changed = apply_values(state, ids, blob.values)
+                            r_apply[0] += pclock() - t0
                     if is_reduce and app.label_is_broadcast_field and dirty_bcast is not None:
                         dirty_bcast[ids[changed]] = True
                 layer.consume(blob)
             if prof is not None:
-                prof.exit()
+                r_scatter = self._r_scatter
+                r_scatter[0] += pclock() - s0
+                r_scatter[1] += 1
         yield from layer.phase_end(phase)
 
     # ------------------------------------------------------------------

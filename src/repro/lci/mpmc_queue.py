@@ -41,15 +41,19 @@ class MpmcQueue:
         self._items: Deque[Any] = deque()
         self._nonempty_waiters: list = []
         self.max_length = 0
+        self._atomic = cpu.atomic_op
+        self._c_enqueues = self.stats.counter("enqueues")
+        self._c_dequeues = self.stats.counter("dequeues")
+        self._c_empty = self.stats.counter("empty_dequeues")
 
     def __len__(self) -> int:
         return len(self._items)
 
     def enqueue(self, item: Any):
         """Generator: FAA slot claim + publication."""
-        yield self.env.timeout(self.cpu.atomic_op)
+        yield self._atomic
         self._items.append(item)
-        self.stats.counter("enqueues").add()
+        self._c_enqueues.add()
         if len(self._items) > self.max_length:
             self.max_length = len(self._items)
         if self._nonempty_waiters:
@@ -60,7 +64,7 @@ class MpmcQueue:
     def enqueue_nowait(self, item: Any) -> None:
         """Zero-cost enqueue for contexts that prepaid the atomic."""
         self._items.append(item)
-        self.stats.counter("enqueues").add()
+        self._c_enqueues.add()
         if len(self._items) > self.max_length:
             self.max_length = len(self._items)
         if self._nonempty_waiters:
@@ -74,25 +78,25 @@ class MpmcQueue:
         An empty dequeue still costs the atomic (the head/tail check
         crossed the cache line).
         """
-        yield self.env.timeout(self.cpu.atomic_op)
+        yield self._atomic
         if self._items:
-            self.stats.counter("dequeues").add()
+            self._c_dequeues.add()
             return self._items.popleft()
-        self.stats.counter("empty_dequeues").add()
+        self._c_empty.add()
         return None
 
     def dequeue_from(self, source: int):
         """Ablation helper: dequeue the first item from ``source`` only,
         paying a traversal cost per skipped element (MPI-like matching)."""
-        yield self.env.timeout(self.cpu.atomic_op)
+        yield self._atomic
         for i, item in enumerate(self._items):
             if getattr(item, "src", None) == source:
-                yield self.env.timeout(i * self.cpu.atomic_op * 0.5)
+                yield i * self._atomic * 0.5
                 del self._items[i]
-                self.stats.counter("dequeues").add()
+                self._c_dequeues.add()
                 return item
-        yield self.env.timeout(len(self._items) * self.cpu.atomic_op * 0.5)
-        self.stats.counter("empty_dequeues").add()
+        yield len(self._items) * self._atomic * 0.5
+        self._c_empty.add()
         return None
 
     def wait_nonempty(self) -> Event:

@@ -28,6 +28,7 @@ from repro.lci.packet_pool import PacketPool
 from repro.lci.request import LciRequest
 from repro.netapi.nic import Nic
 from repro.netapi.packet import Packet, PacketType
+from repro.obs.profile import LEAF_SAMPLE_STRIDE
 from repro.sanitize.lci_checks import LciSanitizer
 from repro.sim.engine import Environment
 from repro.sim.machine import CpuModel
@@ -102,8 +103,33 @@ class LciQueue:
         # of paying per-op increments (the alloc/free paths are the
         # hottest host code in the LCI layer).
         self.profiler = getattr(nic.fabric, "profiler", None)
+        #: [cum_seconds, calls] for the per-harvest progress region,
+        #: folded in by a deferred leaf source (harvests only happen
+        #: inside the event loop, so the parent path is static).  The
+        #: server loop samples the clock every LEAF_SAMPLE_STRIDE'th
+        #: harvest; the source scales cum back up, calls stay exact.
+        self._r_progress = [0.0, 0]
         if self.profiler is not None:
             self.profiler.add_source(self._profile_counts)
+            self.profiler.add_leaf_source(lambda: (
+                ("sim.engine.run", "lci.server.progress",
+                 self._r_progress[0] * LEAF_SAMPLE_STRIDE,
+                 self._r_progress[1]),
+            ))
+        # Descriptor-slot reuse: only safe when nothing can hold a dead
+        # packet across its next incarnation — no retransmit buffers
+        # (faults), no trace events, no lifecycle sanitizer.
+        if (faults is None and self.sanitizer is None and self.obs is None
+                and self.reliability is None):
+            self.pool.enable_packet_reuse()
+        # Hoisted per-op costs and counters for the hot generators below.
+        self._send_overhead = (
+            self.nic.model.send_overhead + self.backend.send_extra
+        )
+        self._c_egr_sends = self.stats.counter("egr_sends")
+        self._c_rts_sends = self.stats.counter("rts_sends")
+        self._c_egr_recvs = self.stats.counter("egr_recvs")
+        self._c_rtr_sends = self.stats.counter("rtr_sends")
 
     def _profile_counts(self):
         """Deferred profiler source: pool traffic + server harvests."""
@@ -149,7 +175,7 @@ class LciQueue:
         req = LciRequest("send", dst, tag, size)
         if size <= self.config.packet_data_bytes:
             # Short protocol: copy into the packet, fire, done.
-            yield self.env.timeout(self.cpu.memcpy_time(size))
+            yield self.cpu.memcpy_time(size)
             pkt = self.pool.make_packet(
                 PacketType.EGR, self.rank, dst, tag, size, payload=payload
             )
@@ -163,7 +189,7 @@ class LciQueue:
             if not ok:
                 self.pool.free_nowait(thread)
                 return None
-            self.stats.counter("egr_sends").add()
+            self._c_egr_sends.add()
             req._complete()
         else:
             # Rendezvous: zero-copy RTS advertising the source buffer.
@@ -179,7 +205,7 @@ class LciQueue:
             if not ok:
                 self.pool.free_nowait(thread)
                 return None
-            self.stats.counter("rts_sends").add()
+            self._c_rts_sends.add()
             # req stays PENDING; completes when the RDMA put is ACKed.
         return req
 
@@ -195,9 +221,7 @@ class LciQueue:
         return self.nic.try_inject(pkt, on_local_complete=on_local_complete)
 
     def charge_send_overhead(self):
-        yield self.env.timeout(
-            self.nic.model.send_overhead + self.backend.send_extra
-        )
+        yield self._send_overhead
 
     # ------------------------------------------------------------------
     # Algorithm 2: RECV-DEQ
@@ -228,20 +252,20 @@ class LciQueue:
         req = LciRequest("recv", pkt.src, pkt.tag, pkt.size)
         if pkt.ptype is PacketType.EGR:
             # Allocate a user buffer and copy out; free the pool packet.
-            yield self.env.timeout(self.cpu.alloc_cost)
-            yield self.env.timeout(self.cpu.memcpy_time(pkt.size))
+            yield self.cpu.alloc_cost
+            yield self.cpu.memcpy_time(pkt.size)
             req._complete(pkt.payload)
             if tr is not None:
                 self.obs.emit(tr, "complete", self.rank, bytes=pkt.size)
             self.pool.retire(pkt)
             yield from self.pool.free(thread)
-            self.stats.counter("egr_recvs").add()
+            self._c_egr_recvs.add()
         elif pkt.ptype is PacketType.RTS:
             # Rendezvous: allocate the landing buffer, answer with RTR.
             # The received packet is *reused* as the RTR (no new alloc);
             # its pool budget travels with the protocol and is freed when
             # the RDMA completion arrives back here (Algorithm 3).
-            yield self.env.timeout(self.cpu.alloc_cost)
+            yield self.cpu.alloc_cost
             rtr = Packet(
                 PacketType.RTR, self.rank, pkt.src, pkt.tag, pkt.size
             )
@@ -252,8 +276,11 @@ class LciQueue:
                 rtr.meta["trace"] = tr
             yield from self.charge_send_overhead()
             while not self._lc_send(rtr):
-                yield self.env.timeout(self.config.retry_backoff)
-            self.stats.counter("rtr_sends").add()
+                yield self.config.retry_backoff
+            self._c_rtr_sends.add()
+            # The RTS descriptor is dead now that the RTR carries its
+            # references (budget still travels with the protocol).
+            self.pool.reclaim(pkt)
         else:  # pragma: no cover - server never enqueues other types
             raise RuntimeError(f"unexpected packet in Q: {pkt!r}")
         return req

@@ -26,6 +26,7 @@ from typing import List, Optional
 
 from repro.lci.config import LciConfig
 from repro.lci.queue_iface import LciQueue
+from repro.obs.profile import LEAF_SAMPLE_MASK
 from repro.netapi.nic import Fabric, Nic
 from repro.netapi.packet import Packet, PacketType
 from repro.sim.engine import Environment, Process
@@ -111,6 +112,14 @@ class LciRuntime(LciQueue):
         from repro.sim.engine import Interrupt
 
         prof = self.profiler
+        if prof is not None:
+            pclock = prof.clock
+            r_progress = self._r_progress
+        # Per-packet harvest cost, hoisted out of the loop.
+        harvest_cost = (
+            self.nic.model.recv_overhead + self.backend.progress_extra
+        )
+        c_server_pkts = self.stats.counter("server_pkts")
         try:
             while not self._stopping:
                 if prof is None or not self.nic.rx_queue:
@@ -120,21 +129,24 @@ class LciRuntime(LciQueue):
                     # harvesting the NIC completion.  Only this
                     # synchronous slice can be bracketed — the rest of
                     # the loop suspends on simulated events.  Empty
-                    # polls stay unbracketed so region call counts
-                    # equal packets harvested (== the server_pkts
-                    # stat, which feeds the lci.server_pkts counter).
-                    t0 = prof.clock()
-                    pkt = self.nic.poll()
-                    prof.leaf("lci.server.progress", t0)
+                    # polls stay uncounted so region call counts equal
+                    # packets harvested (== the server_pkts stat, which
+                    # feeds the lci.server_pkts counter); the clock is
+                    # read on every LEAF_SAMPLE_STRIDE'th harvest.
+                    n = r_progress[1] + 1
+                    r_progress[1] = n
+                    if n & LEAF_SAMPLE_MASK:
+                        pkt = self.nic.poll()
+                    else:
+                        t0 = pclock()
+                        pkt = self.nic.poll()
+                        r_progress[0] += pclock() - t0
                 if pkt is None:
                     yield self.nic.wait_arrival()
                     continue
-                self.stats.counter("server_pkts").add()
+                c_server_pkts.add()
                 # Harvesting one completion from the NIC.
-                yield self.env.timeout(
-                    self.nic.model.recv_overhead
-                    + self.backend.progress_extra
-                )
+                yield harvest_cost
                 if self.reliability is not None:
                     pkt = self.reliability.on_receive(pkt)
                     if pkt is None:
@@ -203,10 +215,10 @@ class LciRuntime(LciQueue):
             # Memory registration / rkey exchange, once per peer.
             put_cost += self.backend.first_put_setup
             self._put_ready.add(pkt.src)
-        yield self.env.timeout(put_cost)
+        yield put_cost
         while not self._lc_send(rdma, on_local_complete=_acked):
             self.stats.counter("rdma_tx_retries").add()
-            yield self.env.timeout(4 * self.nic.model.injection_gap)
+            yield 4 * self.nic.model.injection_gap
         self.stats.counter("rdma_puts").add()
 
     # ------------------------------------------------------------------

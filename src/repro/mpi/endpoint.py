@@ -129,6 +129,24 @@ class MpiEndpoint:
             self.unexpected.profiler = self.profiler
             self.profiler.add_source(self._profile_counts)
 
+        # Hoisted per-call costs and counters (the progress engine and
+        # the isend/irecv/iprobe entry points are the hottest MPI code).
+        self._entry_cost = self.cpu.call_overhead + self.config.call_overhead
+        self._recv_overhead = self.nic.model.recv_overhead
+        self._probe_overhead = self.config.probe_overhead
+        self._match_cost = self.config.match_cost_per_element
+        self._unexpected_cost = self.config.unexpected_cost_per_element
+        self._send_overhead = self.nic.model.send_overhead
+        self._tx_backoff = 4 * self.nic.model.injection_gap
+        self._c_isends = self.stats.counter("isends")
+        self._c_irecvs = self.stats.counter("irecvs")
+        self._c_iprobes = self.stats.counter("iprobes")
+        self._c_tests = self.stats.counter("tests")
+        self._c_eager_sends = self.stats.counter("eager_sends")
+        self._c_rndv_sends = self.stats.counter("rndv_sends")
+        self._c_unexpected = self.stats.counter("unexpected_msgs")
+        self._c_tx_retries = self.stats.counter("tx_retries")
+
     def _profile_counts(self):
         """Deferred profiler source: matching-engine work totals."""
         return (
@@ -142,11 +160,11 @@ class MpiEndpoint:
     # ------------------------------------------------------------------
     def _charge(self, seconds: float):
         if seconds > 0:
-            yield self.env.timeout(seconds)
+            yield seconds
 
     def _enter(self, thread: Optional[object]):
         """Pay the cost of entering the library under the thread mode."""
-        yield from self._charge(self.cpu.call_overhead + self.config.call_overhead)
+        yield self._entry_cost
         if self.thread_mode is ThreadMode.MULTIPLE:
             yield from self._lock.acquire()
         elif thread is not None:
@@ -197,18 +215,18 @@ class MpiEndpoint:
             if waiters:
                 waiters.pop(0).succeed(None)
 
-        self.env.schedule_callback(self.nic.model.latency, _arrive)
+        self.env.call_later(self.nic.model.latency, _arrive)
 
     # ------------------------------------------------------------------
     # Injection with internal retry (MPI hides TX-queue-full)
     # ------------------------------------------------------------------
     def _inject(self, pkt: Packet, on_local_complete=None, notify_target=True):
-        yield from self._charge(self.nic.model.send_overhead)
+        yield self._send_overhead
         while not self.nic.try_inject(
             pkt, on_local_complete=on_local_complete, notify_target=notify_target
         ):
-            self.stats.counter("tx_retries").add()
-            yield self.env.timeout(4 * self.nic.model.injection_gap)
+            self._c_tx_retries.add()
+            yield self._tx_backoff
 
     # ------------------------------------------------------------------
     # Two-sided API
@@ -233,7 +251,7 @@ class MpiEndpoint:
         yield from self._enter(thread)
         try:
             req = MpiRequest("send", dst, tag, size)
-            self.stats.counter("isends").add()
+            self._c_isends.add()
             if self.sanitizer is not None:
                 self.sanitizer.on_send(req)
             if self.obs is not None and trace is not None:
@@ -257,7 +275,7 @@ class MpiEndpoint:
         if trace is not None:
             pkt.meta["trace"] = trace
         yield from self._inject(pkt)
-        self.stats.counter("eager_sends").add()
+        self._c_eager_sends.add()
         req._complete()
 
     def _rndv_send(self, req, dst, tag, size, payload, trace=None):
@@ -268,7 +286,7 @@ class MpiEndpoint:
         if trace is not None:
             pkt.meta["trace"] = trace
         yield from self._inject(pkt)
-        self.stats.counter("rndv_sends").add()
+        self._c_rndv_sends.add()
 
     def irecv(
         self,
@@ -280,17 +298,17 @@ class MpiEndpoint:
         yield from self._enter(thread)
         try:
             req = MpiRequest("recv", source, tag, 0)
-            self.stats.counter("irecvs").add()
+            self._c_irecvs.add()
             msg, inspected = self.unexpected.match_receive(source, tag)
-            yield from self._charge(
-                inspected * self.config.unexpected_cost_per_element
-            )
+            cost = inspected * self._unexpected_cost
+            if cost > 0:
+                yield cost
             if msg is None:
                 if self.sanitizer is not None:
                     self.sanitizer.on_post_recv(
                         self.posted.items, source, tag, ANY_SOURCE, ANY_TAG
                     )
-                self.posted.post(PostedReceive(req, source, tag))
+                self.posted.post(PostedReceive.alloc(req, source, tag))
                 return req
             if self.obs is not None and msg.trace is not None:
                 self.obs.emit(
@@ -308,8 +326,11 @@ class MpiEndpoint:
                     self.obs.emit(msg.trace, "complete", self.rank,
                                   bytes=msg.size)
                 self._peer_credit_home(msg.source)
+                msg.recycle()
             else:  # rendezvous RTS parked unexpected
-                yield from self._answer_rts(msg.token, req)
+                rts_pkt = msg.token
+                msg.recycle()
+                yield from self._answer_rts(rts_pkt, req)
             return req
         finally:
             self._exit()
@@ -357,15 +378,16 @@ class MpiEndpoint:
         """
         yield from self._enter(thread)
         try:
-            self.stats.counter("iprobes").add()
-            yield from self._charge(self.config.probe_overhead)
+            self._c_iprobes.add()
+            if self._probe_overhead > 0:
+                yield self._probe_overhead
             yield from self._progress_locked()
             msg, inspected = self.unexpected.match_receive(
                 source, tag, remove=False
             )
-            yield from self._charge(
-                inspected * self.config.unexpected_cost_per_element
-            )
+            cost = inspected * self._unexpected_cost
+            if cost > 0:
+                yield cost
             if msg is None:
                 return None
             return MpiStatus(msg.source, msg.tag, msg.size)
@@ -380,7 +402,7 @@ class MpiEndpoint:
         """
         yield from self._enter(thread)
         try:
-            self.stats.counter("tests").add()
+            self._c_tests.add()
             yield from self._charge(self.config.test_overhead)
             if not req.done:
                 yield from self._progress_locked()
@@ -432,12 +454,17 @@ class MpiEndpoint:
             self._exit()
 
     def _progress_locked(self):
-        yield from self._charge(self.config.progress_overhead)
+        po = self.config.progress_overhead
+        if po > 0:
+            yield po
+        poll = self.nic.poll
+        recv_overhead = self._recv_overhead
         while True:
-            pkt = self.nic.poll()
+            pkt = poll()
             if pkt is None:
                 return
-            yield from self._charge(self.nic.model.recv_overhead)
+            if recv_overhead > 0:
+                yield recv_overhead
             yield from self._handle_packet(pkt)
 
     def _handle_packet(self, pkt: Packet):
@@ -473,23 +500,27 @@ class MpiEndpoint:
 
     def _arrival_eager(self, pkt: Packet):
         entry, inspected = self.posted.match_arrival(pkt.src, pkt.tag)
-        yield from self._charge(inspected * self.config.match_cost_per_element)
+        cost = inspected * self._match_cost
+        if cost > 0:
+            yield cost
         tr = pkt.meta.get("trace") if self.obs is not None else None
         if entry is not None:
+            req = entry.req
+            entry.recycle()
             if tr is not None:
                 self.obs.emit(tr, "handler", self.rank,
                               inspected=inspected, posted=True)
             yield from self._charge(self.cpu.memcpy_time(pkt.size))
-            entry.req._complete(
+            req._complete(
                 pkt.payload, MpiStatus(pkt.src, pkt.tag, pkt.size)
             )
             if tr is not None:
                 self.obs.emit(tr, "complete", self.rank, bytes=pkt.size)
             self._peer_credit_home(pkt.src)
         else:
-            self.stats.counter("unexpected_msgs").add()
+            self._c_unexpected.add()
             self.unexpected.add(
-                UnexpectedMessage(
+                UnexpectedMessage.alloc(
                     pkt.src, pkt.tag, pkt.size, pkt.payload, "eager",
                     trace=pkt.meta.get("trace"),
                 )
@@ -499,16 +530,20 @@ class MpiEndpoint:
 
     def _arrival_rts(self, pkt: Packet):
         entry, inspected = self.posted.match_arrival(pkt.src, pkt.tag)
-        yield from self._charge(inspected * self.config.match_cost_per_element)
+        cost = inspected * self._match_cost
+        if cost > 0:
+            yield cost
         if entry is not None:
+            req = entry.req
+            entry.recycle()
             if self.obs is not None and pkt.meta.get("trace") is not None:
                 self.obs.emit(pkt.meta["trace"], "handler", self.rank,
                               inspected=inspected, posted=True)
-            yield from self._answer_rts(pkt, entry.req)
+            yield from self._answer_rts(pkt, req)
         else:
-            self.stats.counter("unexpected_msgs").add()
+            self._c_unexpected.add()
             self.unexpected.add(
-                UnexpectedMessage(
+                UnexpectedMessage.alloc(
                     pkt.src, pkt.tag, pkt.size, None, "rndv", token=pkt,
                     trace=pkt.meta.get("trace"),
                 )

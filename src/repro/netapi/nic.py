@@ -20,6 +20,7 @@ import itertools
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional
 
+from repro.obs.profile import LEAF_SAMPLE_MASK, LEAF_SAMPLE_STRIDE
 from repro.sim.engine import Environment, Event, SimulationError
 from repro.sim.machine import MachineModel, NicModel
 from repro.sim.monitor import StatRegistry
@@ -69,7 +70,16 @@ class RegisteredBuffer:
 
 
 class Nic:
-    """One host's network interface."""
+    """One host's network interface.
+
+    ``try_inject`` and ``deliver`` are *rebindable method slots*: when no
+    fault injector, observability context, or profiler is attached to the
+    fabric, the instance attributes point at stripped-down fast variants
+    with zero hook branches on the per-packet path; attaching any of them
+    (a :class:`Fabric` property setter) rebinds every NIC to the general
+    variants.  Both variants schedule exactly the same calendar entries
+    in the same order, so runs are bit-identical either way.
+    """
 
     def __init__(
         self,
@@ -89,11 +99,137 @@ class Nic:
         self._tx_free_at = 0.0
         self._tx_outstanding = 0
         self._registered: Dict[int, RegisteredBuffer] = {}
+        # Hoisted counter objects: one dict lookup per counter per run
+        # instead of one per packet.
+        self._c_tx_full = stats.counter("tx_queue_full")
+        self._c_pkts_sent = stats.counter("pkts_sent")
+        self._c_bytes_sent = stats.counter("bytes_sent")
+        self._c_pkts_recv = stats.counter("pkts_received")
+        self._c_bytes_recv = stats.counter("bytes_received")
+        self._rebind()
+
+    def _rebind(self) -> None:
+        """Select fast or general per-packet entry points (see class doc)."""
+        fab = self.fabric
+        if fab._faults is None and fab._obs is None:
+            if fab._profiler is None:
+                self.try_inject = self._inject_plain
+                self.deliver = self._deliver_plain
+            else:
+                # Profiler alone: the plain scheduling path (identical
+                # calendar entries) timed into per-NIC [cum, calls]
+                # accumulators with sampled clock reads (every
+                # LEAF_SAMPLE_STRIDE'th packet; cum scaled back up by
+                # the source, calls exact) — no region-tree traffic.
+                # A deferred leaf source rebuilds the ``netapi.nic.*``
+                # nodes at snapshot time (packets only ever move inside
+                # the event loop, so the parent region is static).
+                prof = fab._profiler
+                clock = prof.clock
+                inject, deliver = self._inject_plain, self._deliver_plain
+                inj = [0.0, 0]
+                dlv = [0.0, 0]
+
+                def inject_profiled(
+                    pkt, on_local_complete=None, notify_target=True
+                ):
+                    n = inj[1] + 1
+                    inj[1] = n
+                    if n & LEAF_SAMPLE_MASK:
+                        return inject(pkt, on_local_complete, notify_target)
+                    t0 = clock()
+                    try:
+                        return inject(pkt, on_local_complete, notify_target)
+                    finally:
+                        inj[0] += clock() - t0
+
+                def deliver_profiled(pkt):
+                    n = dlv[1] + 1
+                    dlv[1] = n
+                    if n & LEAF_SAMPLE_MASK:
+                        return deliver(pkt)
+                    t0 = clock()
+                    try:
+                        deliver(pkt)
+                    finally:
+                        dlv[0] += clock() - t0
+
+                self.try_inject = inject_profiled
+                self.deliver = deliver_profiled
+                prof.add_leaf_source(lambda: (
+                    ("sim.engine.run", "netapi.nic.inject",
+                     inj[0] * LEAF_SAMPLE_STRIDE, inj[1]),
+                    ("sim.engine.run", "netapi.nic.deliver",
+                     dlv[0] * LEAF_SAMPLE_STRIDE, dlv[1]),
+                ))
+        else:
+            self.try_inject = self._try_inject_general
+            self.deliver = self._deliver_general
 
     # ------------------------------------------------------------------
     # Transmit path
     # ------------------------------------------------------------------
-    def try_inject(
+    def _inject_plain(
+        self,
+        pkt: Packet,
+        on_local_complete: Optional[Callable[[], None]] = None,
+        notify_target: bool = True,
+    ) -> bool:
+        """``try_inject`` with no faults/obs/profiler attached.
+
+        Schedules the same two raw calendar entries (departure, arrival)
+        as the general path, in the same order — bit-identical timing and
+        sequence numbering, minus every hook branch.
+        """
+        if pkt.src != self.host:
+            raise SimulationError(
+                f"packet src {pkt.src} injected from host {self.host}"
+            )
+        if self._tx_outstanding >= self.model.tx_queue_depth:
+            self._c_tx_full.add()
+            return False
+
+        env = self.env
+        model = self.model
+        wire_bytes = pkt.wire_bytes
+        ser = model.serialization_time(wire_bytes)
+        gap = model.injection_gap
+        latency = model.latency
+        if pkt.ptype is PacketType.RDMA:
+            latency += model.rdma_extra_latency
+        now = env._now
+        start = self._tx_free_at
+        if now > start:
+            start = now
+        self._tx_free_at = start + (ser if ser > gap else gap)
+        departure = start + ser
+
+        self._tx_outstanding += 1
+        self._c_pkts_sent.add()
+        self._c_bytes_sent.add(wire_bytes)
+        dst_nic = self.fabric.nic(pkt.dst)
+
+        is_rdma = pkt.ptype is PacketType.RDMA
+
+        def _departed() -> None:
+            self._tx_outstanding -= 1
+            if not is_rdma and on_local_complete is not None:
+                on_local_complete()
+
+        env.call_later(departure - now, _departed)
+
+        def _arrived() -> None:
+            if is_rdma:
+                self._complete_rdma(pkt, dst_nic)
+                if on_local_complete is not None:
+                    env.call_later(model.latency, on_local_complete)
+            if notify_target:
+                dst_nic.deliver(pkt)
+
+        env.call_later(departure + latency - now, _arrived)
+        return True
+
+    def _try_inject_general(
         self,
         pkt: Packet,
         on_local_complete: Optional[Callable[[], None]] = None,
@@ -111,7 +247,7 @@ class Nic:
         # a deferred profiler source (see obs.profile._fabric_counts);
         # only the wall-clock region is paid here, in the fused leaf
         # form (one profiler call per packet, no stack traffic).
-        prof = self.fabric.profiler
+        prof = self.fabric._profiler
         if prof is None:
             return self._inject(pkt, on_local_complete, notify_target)
         t0 = prof.clock()
@@ -119,6 +255,10 @@ class Nic:
             return self._inject(pkt, on_local_complete, notify_target)
         finally:
             prof.leaf("netapi.nic.inject", t0)
+
+    # Class-level aliases so un-rebound instances (pickles, exotic
+    # subclassing) and introspection keep working.
+    try_inject = _try_inject_general
 
     def _inject(
         self,
@@ -130,14 +270,14 @@ class Nic:
             raise SimulationError(
                 f"packet src {pkt.src} injected from host {self.host}"
             )
-        faults = self.fabric.faults
+        faults = self.fabric._faults
         if faults is not None and faults.tx_blocked(self.host, pkt):
             # An injected NIC stall looks exactly like a full TX queue:
             # the retryable condition the comm layers already handle.
-            self.stats.counter("tx_queue_full").add()
+            self._c_tx_full.add()
             return False
         if self._tx_outstanding >= self.model.tx_queue_depth:
-            self.stats.counter("tx_queue_full").add()
+            self._c_tx_full.add()
             return False
 
         env = self.env
@@ -155,9 +295,9 @@ class Nic:
         arrival = departure + latency
 
         self._tx_outstanding += 1
-        self.stats.counter("pkts_sent").add()
-        self.stats.counter("bytes_sent").add(wire_bytes)
-        obs = self.fabric.obs
+        self._c_pkts_sent.add()
+        self._c_bytes_sent.add(wire_bytes)
+        obs = self.fabric._obs
         if obs is not None:
             obs.on_inject(pkt)
 
@@ -168,7 +308,7 @@ class Nic:
             if pkt.ptype is not PacketType.RDMA and on_local_complete:
                 on_local_complete()
 
-        env.schedule_callback(departure - env.now, _departed)
+        env.call_later(departure - env.now, _departed)
 
         dst_nic = self.fabric.nic(pkt.dst)
         fate = faults.transit_fate(pkt) if faults is not None else None
@@ -187,17 +327,17 @@ class Nic:
                 self._complete_rdma(pkt, dst_nic)
                 if on_local_complete:
                     # Hardware completion after the ACK returns.
-                    env.schedule_callback(self.model.latency, on_local_complete)
+                    env.call_later(self.model.latency, on_local_complete)
             if notify_target:
                 dst_nic.deliver(pkt)
 
         reorder = fate.delay if fate is not None else 0.0
-        env.schedule_callback(arrival + reorder - env.now, _arrived)
+        env.call_later(arrival + reorder - env.now, _arrived)
         if fate is not None and fate.duplicated and notify_target:
             # A second copy of the wire packet reaches the receive queue;
             # whether that is deduplicated or double-processed is up to
             # the communication layer (LCI dedupes, MPI diverges).
-            env.schedule_callback(
+            env.call_later(
                 arrival + reorder + fate.dup_delay - env.now,
                 lambda: dst_nic.deliver(pkt),
             )
@@ -217,9 +357,9 @@ class Nic:
     # ------------------------------------------------------------------
     # Receive path
     # ------------------------------------------------------------------
-    def deliver(self, pkt: Packet) -> None:
+    def _deliver_general(self, pkt: Packet) -> None:
         """Called by the fabric when a packet reaches this host."""
-        prof = self.fabric.profiler
+        prof = self.fabric._profiler
         if prof is None:
             return self._deliver(pkt)
         t0 = prof.clock()
@@ -228,17 +368,33 @@ class Nic:
         finally:
             prof.leaf("netapi.nic.deliver", t0)
 
+    deliver = _deliver_general
+
     def _deliver(self, pkt: Packet) -> None:
         if pkt.dst != self.host:
             raise SimulationError(
                 f"packet for host {pkt.dst} delivered to host {self.host}"
             )
         self.rx_queue.append(pkt)
-        self.stats.counter("pkts_received").add()
-        self.stats.counter("bytes_received").add(pkt.wire_bytes)
-        obs = self.fabric.obs
+        self._c_pkts_recv.add()
+        self._c_bytes_recv.add(pkt.wire_bytes)
+        obs = self.fabric._obs
         if obs is not None:
             obs.on_rx(pkt)
+        if self._arrival_waiters:
+            waiters, self._arrival_waiters = self._arrival_waiters, []
+            for ev in waiters:
+                ev.succeed(None)
+
+    def _deliver_plain(self, pkt: Packet) -> None:
+        """``deliver`` with no obs context attached (no hook branches)."""
+        if pkt.dst != self.host:
+            raise SimulationError(
+                f"packet for host {pkt.dst} delivered to host {self.host}"
+            )
+        self.rx_queue.append(pkt)
+        self._c_pkts_recv.add()
+        self._c_bytes_recv.add(pkt.wire_bytes)
         if self._arrival_waiters:
             waiters, self._arrival_waiters = self._arrival_waiters, []
             for ev in waiters:
@@ -296,21 +452,57 @@ class Fabric:
         self.num_hosts = num_hosts
         self.machine = machine
         self.stats = StatRegistry(stats_prefix)
-        #: Optional :class:`repro.faults.FaultInjector`; ``None`` keeps
-        #: every injection hook a no-op.
-        self.faults = None
-        #: Optional :class:`repro.obs.ObsContext` (message-lifecycle
-        #: tracing + queue probes); ``None`` keeps every hook a no-op.
-        #: Pure observation — never advances time or mutates state.
-        self.obs = None
-        #: Optional :class:`repro.obs.profile.ProfileContext` (host-side
-        #: region profiler + deterministic work counters); ``None``
-        #: keeps every hook a no-op.  Same contract as ``obs``.
-        self.profiler = None
+        self._faults = None
+        self._obs = None
+        self._profiler = None
         self._nics = [
             Nic(env, self, h, machine.nic, StatRegistry(f"{stats_prefix}.nic{h}"))
             for h in range(num_hosts)
         ]
+
+    # The three optional contexts are properties so that attaching (or
+    # detaching) one rebinds every NIC's per-packet entry points — the
+    # hooks cost literally nothing when off, instead of a None-check
+    # chain on every packet.  Setter order doesn't matter; rebinding is
+    # idempotent.
+
+    @property
+    def faults(self):
+        """Optional :class:`repro.faults.FaultInjector`; ``None`` keeps
+        every injection hook a no-op."""
+        return self._faults
+
+    @faults.setter
+    def faults(self, value) -> None:
+        self._faults = value
+        for n in self._nics:
+            n._rebind()
+
+    @property
+    def obs(self):
+        """Optional :class:`repro.obs.ObsContext` (message-lifecycle
+        tracing + queue probes); ``None`` keeps every hook a no-op.
+        Pure observation — never advances time or mutates state."""
+        return self._obs
+
+    @obs.setter
+    def obs(self, value) -> None:
+        self._obs = value
+        for n in self._nics:
+            n._rebind()
+
+    @property
+    def profiler(self):
+        """Optional :class:`repro.obs.profile.ProfileContext` (host-side
+        region profiler + deterministic work counters); ``None`` keeps
+        every hook a no-op.  Same contract as ``obs``."""
+        return self._profiler
+
+    @profiler.setter
+    def profiler(self, value) -> None:
+        self._profiler = value
+        for n in self._nics:
+            n._rebind()
 
     def nic(self, host: int) -> Nic:
         if not 0 <= host < self.num_hosts:

@@ -18,14 +18,23 @@ Packet types follow Section III-D of the paper:
 The MPI layers reuse the same wire packets with their own headers stored in
 ``meta`` (tags, communicator context, window/offset for RMA), which mirrors
 how real MPIs layer matching information over the raw transport.
+
+Packets are ``__slots__`` records with a class-level free-list
+(:meth:`Packet.alloc` / :meth:`Packet.recycle`): the per-message object
+churn is one of the simulator's dominant costs, and recycling a dead
+descriptor is two list ops versus a full allocate/initialize/collect
+cycle.  Recycling is strictly opt-in — only call sites that can prove the
+descriptor is dead (no fault injector duplicating deliveries, no tracer
+holding a reference) hand packets back; everything else just drops them
+and the GC does what it always did.  ``uid`` stays globally unique across
+reuse, so traces and tie-breaks never alias.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 __all__ = ["PacketType", "Packet", "CONTROL_PACKET_BYTES", "PACKET_HEADER_BYTES"]
 
@@ -52,33 +61,97 @@ class PacketType(enum.Enum):
 
 _packet_ids = itertools.count()
 
+_CONTROL_TYPES = (PacketType.RTS, PacketType.RTR, PacketType.ACK)
 
-@dataclass
+
 class Packet:
     """A message descriptor moving through the simulated fabric."""
 
-    ptype: PacketType
-    src: int
-    dst: int
-    tag: int
-    #: Simulated payload bytes (excluding header overhead).
-    size: int
-    #: The actual data object (ignored by the fabric, used by receivers).
-    payload: Any = None
-    #: Layer-specific header fields (MPI context id, RMA window/offset,
-    #: rendezvous buffer handles, ...).
-    meta: Dict[str, Any] = field(default_factory=dict)
-    #: Unique id, for tracing and deterministic tie-breaking in tests.
-    uid: int = field(default_factory=lambda: next(_packet_ids))
-    #: Set by the LCI layer: the request this packet is tied to.
-    request: Optional[Any] = None
-    #: For pool-managed packets: the owning pool, so frees return home.
-    pool: Optional[Any] = None
+    __slots__ = ("ptype", "src", "dst", "tag", "size", "payload", "meta",
+                 "uid", "request", "pool", "slot")
+
+    #: Dead descriptors awaiting reuse (see module docstring).
+    _free: List["Packet"] = []
+
+    def __init__(
+        self,
+        ptype: PacketType,
+        src: int,
+        dst: int,
+        tag: int,
+        #: Simulated payload bytes (excluding header overhead).
+        size: int,
+        #: The actual data object (ignored by the fabric, used by receivers).
+        payload: Any = None,
+        #: Layer-specific header fields (MPI context id, RMA window/offset,
+        #: rendezvous buffer handles, ...).
+        meta: Optional[Dict[str, Any]] = None,
+        #: Unique id, for tracing and deterministic tie-breaking in tests.
+        uid: Optional[int] = None,
+        #: Set by the LCI layer: the request this packet is tied to.
+        request: Optional[Any] = None,
+        #: For pool-managed packets: the owning pool, so frees return home.
+        pool: Optional[Any] = None,
+    ):
+        self.ptype = ptype
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.size = size
+        self.payload = payload
+        self.meta = {} if meta is None else meta
+        self.uid = next(_packet_ids) if uid is None else uid
+        self.request = request
+        self.pool = pool
+        #: Owning pool's descriptor-slot index, or -1 for unpooled
+        #: packets (see :mod:`repro.lci.packet_pool`).
+        self.slot = -1
+
+    @classmethod
+    def alloc(
+        cls,
+        ptype: PacketType,
+        src: int,
+        dst: int,
+        tag: int,
+        size: int,
+        payload: Any = None,
+    ) -> "Packet":
+        """A packet from the free-list (or fresh), with a fresh ``uid``."""
+        free = cls._free
+        if free:
+            pkt = free.pop()
+            pkt.ptype = ptype
+            pkt.src = src
+            pkt.dst = dst
+            pkt.tag = tag
+            pkt.size = size
+            pkt.payload = payload
+            if pkt.meta:
+                pkt.meta.clear()
+            pkt.uid = next(_packet_ids)
+            pkt.request = None
+            pkt.pool = None
+            return pkt
+        return cls(ptype, src, dst, tag, size, payload=payload)
+
+    def recycle(self) -> None:
+        """Hand a provably-dead descriptor back to the free-list.
+
+        Caller contract: no live reference remains anywhere (fabric,
+        queues, requests, traces).  Payload and request references are
+        dropped eagerly so recycling never extends object lifetimes.
+        """
+        self.payload = None
+        self.request = None
+        self.pool = None
+        self.slot = -1
+        Packet._free.append(self)
 
     @property
     def wire_bytes(self) -> int:
         """Bytes the fabric serializes for this packet."""
-        if self.ptype in (PacketType.RTS, PacketType.RTR, PacketType.ACK):
+        if self.ptype in _CONTROL_TYPES:
             return CONTROL_PACKET_BYTES
         return self.size + PACKET_HEADER_BYTES
 

@@ -52,6 +52,7 @@ from typing import Dict, List, Optional
 
 __all__ = [
     "wall_now",
+    "cpu_now",
     "RegionProfiler",
     "CounterRegistry",
     "ProfileContext",
@@ -79,6 +80,28 @@ def wall_now() -> float:
 #: itself, so the closures skip the frame.  Same clock, same lint
 #: rationale as :func:`wall_now`.
 _perf_counter = time.perf_counter  # lint-ok: D101 hot-path alias of wall_now
+
+#: Sampling stride for the highest-frequency deferred leaf cells.
+#: Sites that fire per packet or per queue walk only read the clock on
+#: every STRIDE'th call and report ``cum * STRIDE`` from their leaf
+#: source; call counts stay exact.  The untimed calls pay one counter
+#: increment and one AND — the stride is a power of two so the "is
+#: this call timed" check is a single mask test.  Per-phase cells
+#: (compute/gather/scatter) stay fully timed: their hook cost
+#: amortizes over whole phases and their low call counts would make a
+#: sampled estimate coarse.
+LEAF_SAMPLE_STRIDE = 8
+LEAF_SAMPLE_MASK = LEAF_SAMPLE_STRIDE - 1
+
+#: Process CPU time, for *measuring the profiler itself*.  A
+#: single-threaded simulator's profiling overhead is exactly the extra
+#: CPU its hooks burn; CPU time is immune to hypervisor steal and far
+#: less sensitive to frequency scaling than wall-clock, both of which
+#: dwarf a few percent of hook cost on small shared machines.  Kept
+#: here with the sanctioned clocks so host-time reads stay confined to
+#: this module (process_time is not a D101 clock, but the convention
+#: holds).
+cpu_now = time.process_time
 
 
 class _Node:
@@ -161,10 +184,59 @@ class RegionProfiler:
         self.exit = exit
         #: Close a fused leaf region opened at ``t0`` (hot path).
         self.leaf = leaf
+        #: Deferred leaf-region sources (see :meth:`add_leaf_source`).
+        self._leaf_sources: List = []
 
     def region(self, name: str) -> "_Region":
         """``with profiler.region("comm.serialization.pack"): ...``"""
         return _Region(self, name)
+
+    def add_leaf_source(self, fn) -> None:
+        """Register a deferred leaf-region source.
+
+        ``fn()`` returns an iterable of ``(parent_path, name,
+        cum_seconds, calls)`` *running totals*.  The highest-frequency
+        leaf regions (per-packet NIC handling, matching walks, progress
+        harvests) accumulate into plain floats at the call site — two
+        clock reads and a couple of list ops, no stack or tree traffic —
+        and this fold reconstructs their tree nodes at snapshot time.
+        The exact analogue of :meth:`ProfileContext.add_source` for
+        wall-clock regions: totals are summed across sources per
+        ``(parent_path, name)`` and *written* (not added) to the node,
+        so repeated folds are idempotent.  ``parent_path`` is the
+        ``;``-joined region path the leaf belongs under (these hot paths
+        only ever run inside the event loop, so it is static per site).
+        """
+        self._leaf_sources.append(fn)
+
+    def _fold_leaf_sources(self) -> None:
+        totals: Dict[tuple, list] = {}
+        for fn in self._leaf_sources:
+            for parent, name, cum, calls in fn():
+                key = (parent, name)
+                t = totals.get(key)
+                if t is None:
+                    totals[key] = [cum, calls]
+                else:
+                    t[0] += cum
+                    t[1] += calls
+        for (parent, name), (cum, calls) in totals.items():
+            if not calls:
+                # A leaf that never fired would otherwise fabricate its
+                # parent chain in the report.
+                continue
+            node = self.root
+            if parent:
+                for part in parent.split(";"):
+                    child = node.children.get(part)
+                    if child is None:
+                        child = node.children[part] = _Node(part)
+                    node = child
+            leaf = node.children.get(name)
+            if leaf is None:
+                leaf = node.children[name] = _Node(name)
+            leaf.cum = cum
+            leaf.calls = calls
 
     @property
     def depth(self) -> int:
@@ -179,6 +251,7 @@ class RegionProfiler:
         cumulative seconds, and self seconds (cumulative minus
         children's cumulative, floored at zero against clock jitter).
         """
+        self._fold_leaf_sources()
         out: List[dict] = []
 
         def walk(node: _Node, prefix: str, depth: int) -> None:
@@ -343,6 +416,7 @@ class ProfileContext:
         self.leaf = self.regions.leaf
         self.clock = self.regions.clock
         self.count = self.counters.inc
+        self.add_leaf_source = self.regions.add_leaf_source
 
     def install(self, env, fabric) -> "ProfileContext":
         self.env = env

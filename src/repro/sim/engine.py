@@ -6,10 +6,33 @@ are:
 * **Determinism** — events scheduled for the same timestamp fire in
   scheduling order (a monotonically increasing sequence number breaks ties),
   so a run is a pure function of its inputs and seeds.
-* **Low overhead** — the event heap stores plain tuples and callbacks; the
-  hot path (``step``) does no allocation beyond the generator resume.
+* **Low overhead** — the scheduler is a *calendar queue* (bucketed by
+  timestamp, heap fallback for far-future events) and the dominant
+  ``timeout(d)``-then-resume pattern has a zero-allocation fast path: a
+  process may ``yield`` a plain number instead of a :class:`Timeout` and
+  the kernel schedules a raw tuple-entry bound to the process, no Event
+  object at all.
 * **Small surface** — only the primitives the communication runtimes need:
   one-shot events, timeouts, processes, and all-of/any-of conditions.
+
+Scheduler structure (see docs/MODEL.md §13 for the full design):
+
+* the **current bucket** is a real heap (``heappush``/``heappop``), so the
+  next event is O(1) to find;
+* **future buckets** inside the calendar window are plain append-only
+  lists — scheduling into them is one list append; a bucket is heapified
+  once, when the clock reaches it;
+* events beyond the window go to an **overflow heap**; when the window
+  drains the calendar *rebases* onto the overflow minimum and migrates
+  everything that now fits.  Workloads whose delays dwarf the bucket
+  width degrade gracefully: a streak of near-empty rebases grows the
+  bucket width geometrically (the calendar resize), and with
+  ``bucket_width=float("inf")`` the calendar degenerates to the classic
+  single-heap scheduler (used by the determinism property tests).
+
+Every entry is ``(when, seq, ...)`` and pops are strictly lexicographic
+on ``(when, seq)``, so the event order — and therefore every simulated
+run — is bit-identical to the single-heap scheduler's.
 
 Typical usage::
 
@@ -27,7 +50,7 @@ Typical usage::
 
 from __future__ import annotations
 
-import heapq
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
@@ -42,6 +65,23 @@ __all__ = [
 ]
 
 _PENDING = object()
+
+_INF = float("inf")
+
+#: Default calendar geometry.  The simulated runtimes operate at
+#: sub-microsecond granularity (atomic ops ~5e-8 s, NIC latency ~1e-6 s,
+#: aggregate flush timeouts 1e-4 s), so a 1 µs bucket over a ~1 ms window
+#: keeps every delay the communication stack produces inside the calendar;
+#: only pathological far-future events touch the overflow heap.
+_DEFAULT_BUCKET_WIDTH = 1e-6
+_DEFAULT_NUM_BUCKETS = 1024
+
+#: A rebase that migrates at most this many entries is "near empty".
+_SPARSE_REBASE = 2
+#: After this many consecutive near-empty rebases the bucket width grows.
+_RESIZE_STREAK = 4
+#: Geometric growth factor of the calendar resize.
+_RESIZE_FACTOR = 16.0
 
 
 class SimulationError(RuntimeError):
@@ -130,7 +170,8 @@ class Event:
 
     # -- internals ------------------------------------------------------
     def _run_callbacks(self) -> None:
-        callbacks, self.callbacks = self.callbacks, None
+        callbacks = self.callbacks
+        self.callbacks = None
         if callbacks:
             for cb in callbacks:
                 cb(self)
@@ -150,29 +191,65 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(env)
+        # Flattened Event.__init__ + schedule: a Timeout is born scheduled,
+        # so the generic succeed() path (extra call, triggered check) is
+        # skipped entirely.
+        self.env = env
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = True
+        self._scheduled = True
+        self._defused = False
         self.delay = delay
         self._timeout_value = value
-        env._schedule_event(self, delay)
+        seq = env._seq + 1
+        env._seq = seq
+        when = env._now + delay
+        env._push(when, (when, seq, self))
 
     def _run_callbacks(self) -> None:
         # The value materializes only when the timer fires, so a pending
         # timeout is not "triggered" (matters for AnyOf/AllOf collection).
         self._value = self._timeout_value
         self._ok = True
-        super()._run_callbacks()
+        callbacks = self.callbacks
+        self.callbacks = None
+        if callbacks:
+            for cb in callbacks:
+                cb(self)
+
+
+class _FastTrigger:
+    """Stand-in trigger for the zero-allocation timeout resume path.
+
+    Behaves like an already-succeeded Event with value ``None`` for the
+    two attributes :meth:`Process._resume` reads; shared singleton, never
+    mutated.
+    """
+
+    __slots__ = ()
+    _ok = True
+    _value = None
+
+
+_FAST_TRIGGER = _FastTrigger()
 
 
 class Process(Event):
     """Drives a generator; the process *is* an event that fires on return.
 
     The generator may ``yield`` any :class:`Event` (including other
-    processes).  When the yielded event triggers, the process resumes with
-    the event's value (or has the failure exception thrown into it).  When
-    the generator returns, the process event succeeds with the return value.
+    processes) — or, on the fast path, a plain non-negative number,
+    meaning "resume me after that many simulated seconds" with no Event
+    allocated at all (exactly equivalent to yielding ``env.timeout(d)``,
+    same sequence-number consumption, same firing order).  When the
+    yielded event triggers, the process resumes with the event's value
+    (or has the failure exception thrown into it).  When the generator
+    returns, the process event succeeds with the return value.
     """
 
-    __slots__ = ("_gen", "_target", "name")
+    __slots__ = ("_gen", "_target", "name", "_resume_cb", "_fast_cb",
+                 "_fast_token")
 
     def __init__(self, env: "Environment", gen: Generator, name: str = ""):
         super().__init__(env)
@@ -181,9 +258,18 @@ class Process(Event):
         self._gen = gen
         self._target: Optional[Event] = None
         self.name = name or getattr(gen, "__name__", "process")
+        # Pre-bound callbacks: one bound-method allocation per process
+        # lifetime instead of one per wait.
+        self._resume_cb = self._resume
+        self._fast_cb = self._fast_fire
+        #: Generation token of the pending fast-timeout entry, if any.
+        #: Bumped on every fast wait *and* on interrupt, so a stale entry
+        #: popped later compares unequal and becomes a no-op (this is how
+        #: the fast path supports Interrupt without queue surgery).
+        self._fast_token = 0
         # Bootstrap: resume the generator at the current time.
         init = Event(env)
-        init.callbacks.append(self._resume)
+        init.callbacks.append(self._resume_cb)
         init.succeed(None)
 
     @property
@@ -197,51 +283,75 @@ class Process(Event):
         if self._gen is self.env._active_gen:
             raise SimulationError("a process cannot interrupt itself")
         # Detach from whatever it is waiting on, then resume with the error.
+        # A pending fast-timeout entry cannot be removed from the calendar
+        # cheaply; invalidating its token makes it fizzle instead.
+        self._fast_token += 1
         target = self._target
         if target is not None and target.callbacks is not None:
             try:
-                target.callbacks.remove(self._resume)
+                target.callbacks.remove(self._resume_cb)
             except ValueError:
                 pass
         self._target = None
         kick = Event(self.env)
-        kick.callbacks.append(self._resume)
+        kick.callbacks.append(self._resume_cb)
         kick.fail(Interrupt(cause))
         kick.defuse()
 
     # -- internals ------------------------------------------------------
-    def _resume(self, trigger: Event) -> None:
+    def _fast_fire(self, token: int) -> None:
+        """A fast-timeout calendar entry reached its timestamp."""
+        if token != self._fast_token:
+            return  # cancelled by interrupt(): stale generation
+        self._fast_token = token + 1
+        self._resume(_FAST_TRIGGER)
+
+    def _resume(self, trigger) -> None:
         env = self.env
-        env._active_gen = self._gen
+        gen = self._gen
+        env._active_gen = gen
         self._target = None
-        event: Optional[Event] = trigger
-        while event is not None:
+        send = gen.send
+        event = trigger
+        while True:
             try:
                 if event._ok:
-                    nxt = self._gen.send(event._value)
+                    nxt = send(event._value)
                 else:
                     event._defused = True
-                    nxt = self._gen.throw(event._value)
+                    nxt = gen.throw(event._value)
             except StopIteration as stop:
                 env._active_gen = None
-                super().succeed(stop.value)
+                Event.succeed(self, stop.value)
                 return
             except BaseException as exc:
                 env._active_gen = None
-                super().fail(exc)
+                Event.fail(self, exc)
                 return
+            cls = nxt.__class__
+            if cls is float or cls is int:
+                # Zero-allocation timeout: schedule a raw calendar entry
+                # bound to this process, no Timeout object.
+                if nxt < 0:
+                    env._active_gen = None
+                    Event.fail(
+                        self, SimulationError(f"negative timeout delay: {nxt}")
+                    )
+                    return
+                env._schedule_fast(self, nxt)
+                break
             if not isinstance(nxt, Event):
                 env._active_gen = None
                 msg = f"process {self.name!r} yielded non-event {nxt!r}"
-                super().fail(SimulationError(msg))
+                Event.fail(self, SimulationError(msg))
                 return
             if nxt.callbacks is None:
                 # Already processed: resume immediately with its value.
                 event = nxt
                 continue
-            nxt.callbacks.append(self._resume)
+            nxt.callbacks.append(self._resume_cb)
             self._target = nxt
-            event = None
+            break
         env._active_gen = None
 
 
@@ -257,11 +367,12 @@ class _Condition(Event):
         if not self._events:
             self.succeed({})
             return
+        check = self._check
         for ev in self._events:
             if ev.callbacks is None:
-                self._check(ev)
+                check(ev)
             else:
-                ev.callbacks.append(self._check)
+                ev.callbacks.append(check)
 
     def _collect(self) -> dict:
         return {
@@ -307,23 +418,52 @@ class AllOf(_Condition):
 
 
 class Environment:
-    """The simulation clock and event queue."""
+    """The simulation clock and calendar-queue event scheduler.
 
-    def __init__(self, initial_time: float = 0.0):
+    ``bucket_width``/``num_buckets`` pin the calendar geometry (mostly
+    for tests): ``bucket_width=float("inf")`` collapses the calendar to
+    the classic single-heap scheduler, tiny widths force every schedule
+    through the overflow-heap fallback.  The default geometry covers the
+    communication stack's whole delay spectrum, and the width grows
+    automatically when a workload's timescale dwarfs it.
+    """
+
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        bucket_width: Optional[float] = None,
+        num_buckets: int = _DEFAULT_NUM_BUCKETS,
+    ):
+        if num_buckets < 1:
+            raise SimulationError("calendar needs at least one bucket")
+        width = _DEFAULT_BUCKET_WIDTH if bucket_width is None else bucket_width
+        if width <= 0:
+            raise SimulationError(f"bucket width must be positive: {width}")
         self._now = float(initial_time)
-        self._heap: List[tuple] = []
         self._seq = 0
         self._active_gen: Optional[Generator] = None
+        # -- calendar state --
+        self._width = float(width)
+        self._nb = int(num_buckets)
+        self._base = self._now            # absolute time of bucket 0
+        self._cur: List[tuple] = []       # heap: entries with when < _cur_end
+        self._cur_idx = 0                 # bucket index mapped into _cur
+        self._cur_end = self._base + self._width
+        self._buckets: List[List[tuple]] = [[] for _ in range(self._nb)]
+        self._far: List[tuple] = []       # overflow heap beyond the window
+        self._far_ops = 0                 # heap-fallback pushes + migrations
+        self._rebase_streak = 0
         #: Optional :class:`repro.faults.FaultInjector`.  When installed,
         #: :meth:`charged_timeout` dilates CPU-work delays through its
         #: straggler model; ``None`` keeps the hook a no-op.
         self.faults = None
         #: Optional :class:`repro.obs.profile.ProfileContext`.  When
         #: installed, :meth:`run` brackets the dispatch loop in a
-        #: ``sim.engine.run`` region and folds event/heap work counts
-        #: into the counter registry on exit.  The hot path (``step`` /
-        #: ``_schedule_event``) is untouched either way: schedules are
-        #: already counted by ``_seq`` and fires by the run loop, so
+        #: ``sim.engine.run`` region and folds event/scheduler work counts
+        #: into the counter registry on exit.  The hot path (dispatch /
+        #: ``_push``) is untouched either way: schedules are already
+        #: counted by ``_seq``, fires by the run loop, and fallback ops by
+        #: a plain attribute touched only on the (rare) overflow path —
         #: profiling adds zero per-event cost.
         self.profiler = None
 
@@ -339,16 +479,17 @@ class Environment:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
 
-    def charged_timeout(self, delay: float, actor: Optional[int] = None) -> Timeout:
-        """A timeout representing ``delay`` seconds of CPU *work* by host
-        ``actor``.  Plain :meth:`timeout` models elapsed time; this hook
-        lets an installed fault injector stretch the work when the actor
-        is inside a straggler window.  Without an injector it is exactly
-        ``timeout(delay)``.
+    def charged_timeout(self, delay: float, actor: Optional[int] = None) -> float:
+        """Delay representing ``delay`` seconds of CPU *work* by host
+        ``actor``, for a process to ``yield`` directly (the fast path).
+        Plain :meth:`timeout` models elapsed time; this hook lets an
+        installed fault injector stretch the work when the actor is
+        inside a straggler window.  Without an injector the returned
+        delay is exactly ``delay``.
         """
         if self.faults is not None:
             delay = self.faults.dilate(actor, delay, self._now)
-        return Timeout(self, delay)
+        return delay
 
     def process(self, gen: Generator, name: str = "") -> Process:
         return Process(self, gen, name=name)
@@ -360,10 +501,52 @@ class Environment:
         return AllOf(self, events)
 
     # -- scheduling -----------------------------------------------------
+    def _push(self, when: float, entry: tuple) -> None:
+        """File ``entry`` (keyed ``(when, seq, ...)``) into the calendar."""
+        if when < self._cur_end:
+            heappush(self._cur, entry)
+            return
+        i = int((when - self._base) / self._width)
+        if i < self._nb:
+            # Floating point can floor a boundary value back into the
+            # already-drained span; the next bucket is where it belongs.
+            if i <= self._cur_idx:
+                i = self._cur_idx + 1
+                if i >= self._nb:
+                    self._far_ops += 1
+                    heappush(self._far, entry)
+                    return
+            self._buckets[i].append(entry)
+        else:
+            self._far_ops += 1
+            heappush(self._far, entry)
+
     def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
         event._scheduled = True
-        self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+        seq = self._seq + 1
+        self._seq = seq
+        when = self._now + delay
+        self._push(when, (when, seq, event))
+
+    def _schedule_fast(self, proc: Process, delay: float) -> None:
+        """Raw calendar entry resuming ``proc`` — the zero-allocation
+        equivalent of ``Timeout`` + resume callback (consumes exactly one
+        sequence number, fires in exactly the same order)."""
+        seq = self._seq + 1
+        self._seq = seq
+        token = proc._fast_token + 1
+        proc._fast_token = token
+        when = self._now + delay
+        self._push(when, (when, seq, proc._fast_cb, token))
+
+    def call_later(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` after ``delay`` — a raw calendar entry with no
+        Event allocated.  The fire-and-forget sibling of
+        :meth:`schedule_callback` for callers that discard the event."""
+        seq = self._seq + 1
+        self._seq = seq
+        when = self._now + delay
+        self._push(when, (when, seq, fn))
 
     def schedule_callback(
         self, delay: float, fn: Callable[[], None]
@@ -373,16 +556,115 @@ class Environment:
         ev.callbacks.append(lambda _ev: fn())
         return ev
 
+    # -- calendar maintenance -------------------------------------------
+    def _advance(self) -> bool:
+        """Move the current-bucket heap to the next nonempty span.
+
+        Returns False when the whole calendar (buckets and overflow heap)
+        is empty.  Idempotent: re-entering while ``_cur`` holds entries is
+        a no-op, so nested uses (``peek()`` from inside a dispatched
+        callback, then the run loop) cannot promote past a live bucket.
+        """
+        if self._cur:
+            return True
+        buckets = self._buckets
+        nb = self._nb
+        i = self._cur_idx + 1
+        while True:
+            while i < nb:
+                b = buckets[i]
+                if b:
+                    buckets[i] = []
+                    heapify(b)
+                    self._cur = b
+                    self._cur_idx = i
+                    self._cur_end = self._base + (i + 1) * self._width
+                    return True
+                i += 1
+            # Window exhausted: rebase onto the overflow heap.
+            far = self._far
+            if not far:
+                return False
+            width = self._width
+            self._base = base = far[0][0]
+            horizon = base + nb * width
+            migrated = 0
+            while far and far[0][0] < horizon:
+                e = heappop(far)
+                j = int((e[0] - base) / width)
+                if j >= nb:
+                    j = nb - 1
+                buckets[j].append(e)
+                migrated += 1
+            self._far_ops += migrated
+            # Calendar resize: a streak of near-empty rebases means the
+            # workload's timescale dwarfs the bucket width (the calendar
+            # is degenerating into one heap op per event).  Growing the
+            # width geometrically restores O(1) scheduling; order is
+            # untouched because entries carry their own (when, seq) keys.
+            if migrated <= _SPARSE_REBASE:
+                self._rebase_streak += 1
+                if self._rebase_streak >= _RESIZE_STREAK and width < _INF:
+                    self._rebase_streak = 0
+                    self._resize(width * _RESIZE_FACTOR)
+            else:
+                self._rebase_streak = 0
+            self._cur_idx = -1
+            self._cur_end = base
+            i = 0
+
+    def _resize(self, new_width: float) -> None:
+        """Redistribute every pending entry under a new bucket width.
+
+        Safe at any point between event dispatches: entries carry their
+        own ``(when, seq)`` keys, so pop order — and therefore the run —
+        is unaffected.  Exposed for tests via :meth:`resize`.
+        """
+        if new_width <= 0:
+            raise SimulationError(f"bucket width must be positive: {new_width}")
+        pending: List[tuple] = list(self._cur)
+        for b in self._buckets:
+            if b:
+                pending.extend(b)
+        pending.extend(self._far)
+        self._width = float(new_width)
+        self._base = self._now
+        self._cur = []
+        self._cur_idx = 0
+        self._cur_end = self._base + self._width
+        self._buckets = [[] for _ in range(self._nb)]
+        self._far = []
+        for e in pending:
+            self._push(e[0], e)
+
+    def resize(self, bucket_width: float) -> None:
+        """Change the calendar bucket width mid-run (order-preserving)."""
+        self._resize(bucket_width)
+
     # -- execution ------------------------------------------------------
+    def _dispatch(self, entry: tuple) -> None:
+        if len(entry) == 4:
+            entry[2](entry[3])        # fast-timeout resume
+            return
+        obj = entry[2]
+        if isinstance(obj, Event):
+            obj._run_callbacks()
+        else:
+            obj()                     # call_later raw callback
+
     def step(self) -> None:
         """Process the next event; raises IndexError when queue is empty."""
-        when, _seq, event = heapq.heappop(self._heap)
-        self._now = when
-        event._run_callbacks()
+        if not self._cur and not self._advance():
+            raise IndexError("pop from an empty event queue")
+        entry = heappop(self._cur)
+        self._now = entry[0]
+        self._dispatch(entry)
 
     def peek(self) -> float:
         """Time of the next event, or ``inf`` if none."""
-        return self._heap[0][0] if self._heap else float("inf")
+        if not self._cur and not self._advance():
+            return _INF
+        return self._cur[0][0]
 
     def run(
         self, until: Optional[float] = None, max_events: Optional[int] = None
@@ -395,17 +677,37 @@ class Environment:
         prof = self.profiler
         if prof is not None:
             seq0 = self._seq
+            far0 = self._far_ops
             prof.enter("sim.engine.run")
         count = 0
-        heap = self._heap
+        limit = max_events if max_events is not None else _INF
+        pop = heappop
         try:
-            while heap:
-                if until is not None and heap[0][0] > until:
+            while True:
+                # Re-read each iteration: callbacks may promote a bucket
+                # (via peek/step) or resize the calendar, replacing _cur.
+                cur = self._cur
+                if not cur:
+                    if not self._advance():
+                        break
+                    cur = self._cur
+                if until is not None and cur[0][0] > until:
                     self._now = until
                     return
-                self.step()
+                entry = pop(cur)
+                self._now = entry[0]
                 count += 1
-                if max_events is not None and count > max_events:
+                # Inlined _dispatch: this branch pair is the hottest code
+                # in the simulator.
+                if len(entry) == 4:
+                    entry[2](entry[3])
+                else:
+                    obj = entry[2]
+                    if isinstance(obj, Event):
+                        obj._run_callbacks()
+                    else:
+                        obj()
+                if count > limit:
                     raise SimulationError(
                         f"exceeded max_events={max_events} at t={self._now:.9f}"
                     )
@@ -418,8 +720,18 @@ class Environment:
                 ctr = prof.counters
                 ctr.inc("sim.events_scheduled", scheduled)
                 ctr.inc("sim.events_fired", count)
-                # Every schedule pushes; every fire pops.
+                # Total scheduler ops: every schedule files an entry,
+                # every fire pops one (the counter's meaning since the
+                # single-heap scheduler; kept for trajectory continuity).
                 ctr.inc("sim.heap_ops", scheduled + count)
+                # Fallback breakdown, only when the overflow heap actually
+                # engaged: the canonical workloads fit entirely inside the
+                # calendar window, and emitting always-zero keys would
+                # change their counter fingerprints for no information.
+                far = self._far_ops - far0
+                if far:
+                    ctr.inc("sim.heap_fallback_ops", far)
+                    ctr.inc("sim.bucket_ops", scheduled + count - far)
 
     def run_process(self, proc: Process, until: Optional[float] = None) -> Any:
         """Run until ``proc`` completes and return its value."""

@@ -169,10 +169,12 @@ def test_process_exception_propagates_to_waiter():
 
 
 def test_yield_non_event_fails_process():
+    # Numbers are valid yields (the zero-allocation timeout fast path),
+    # so the garbage here must be non-numeric.
     env = Environment()
 
     def bad(env):
-        yield 123
+        yield "not an event"
 
     p = env.process(bad(env))
     with pytest.raises(SimulationError, match="non-event"):
@@ -303,3 +305,126 @@ def test_run_process_unfinished_raises():
     p = env.process(waits_forever(env))
     with pytest.raises(SimulationError, match="did not finish"):
         env.run_process(p)
+
+
+# ----------------------------------------------------------------------
+# Calendar-queue scheduler determinism
+# ----------------------------------------------------------------------
+
+def _record_order(env, log, label, delay):
+    def proc():
+        yield delay
+        log.append((env.now, label))
+    return env.process(proc())
+
+
+def test_same_timestamp_ordering_across_bucket_boundaries():
+    # Schedule pairs of events at the same timestamp where one lands in
+    # the current bucket and its twin beyond the calendar horizon (far
+    # heap); scheduling order must still decide the tie everywhere.
+    env = Environment(bucket_width=1e-6, num_buckets=4)  # 4 us horizon
+    log = []
+    for i, when in enumerate([3e-6, 3e-6, 50e-6, 50e-6, 0.5e-6, 0.5e-6]):
+        _record_order(env, log, i, when)
+    env.run()
+    assert log == [
+        (0.5e-6, 4), (0.5e-6, 5),
+        (3e-6, 0), (3e-6, 1),
+        (50e-6, 2), (50e-6, 3),
+    ]
+
+
+def test_calendar_resize_mid_run_preserves_order():
+    env = Environment(bucket_width=1e-6, num_buckets=8)
+    log = []
+    for i, when in enumerate([2e-6, 2e-6, 5e-6, 300e-6, 300e-6, 301e-6]):
+        _record_order(env, log, i, when)
+
+    def resizer():
+        yield 4e-6
+        env.resize(100e-6)  # re-bucket everything still pending
+        log.append((env.now, "resized"))
+    env.process(resizer())
+    env.run()
+    assert log == [
+        (2e-6, 0), (2e-6, 1),
+        (4e-6, "resized"),
+        (5e-6, 2),
+        (300e-6, 3), (300e-6, 4),
+        (301e-6, 5),
+    ]
+
+
+def test_interrupt_from_fast_timeout_path():
+    # A process sleeping via the zero-allocation float-yield path must
+    # still be interruptible, and the stale fast-timer must not fire.
+    env = Environment()
+    log = []
+
+    def sleeper():
+        try:
+            yield 100.0  # fast-path timeout
+        except Interrupt as exc:
+            log.append(("interrupted", env.now, exc.cause))
+            yield 1.0    # fast path again after the interrupt
+            log.append(("resumed", env.now))
+
+    p = env.process(sleeper())
+
+    def waker():
+        yield 2.0
+        p.interrupt("wake")
+    env.process(waker())
+    env.run()
+    assert log == [("interrupted", 2.0, "wake"), ("resumed", 3.0)]
+    # The defused 100 s timer still drains as a no-op pop (exactly like
+    # a historical Timeout whose callbacks were removed), so event and
+    # clock accounting match the pre-calendar engine.
+    assert env.now == 100.0
+
+
+def test_calendar_and_pure_heap_orders_identical():
+    # Property-style: a randomized seeded workload of timers, chained
+    # resumes, and interrupts must fire in the identical order under the
+    # calendar queue and under the pure-heap degenerate configuration.
+    import random
+
+    def workload(env):
+        rng = random.Random(1234)
+        log = []
+
+        def jittery(name):
+            for _ in range(rng.randint(1, 5)):
+                yield rng.choice([0.0, 1e-7, 3.7e-6, 1e-3]) * rng.random()
+                log.append((env.now, name))
+
+        def sleeper(name):
+            # Long fast-path sleeps that expect to be poked awake.
+            try:
+                yield 1e-2
+                log.append((env.now, name, "slept"))
+            except Interrupt:
+                log.append((env.now, name, "poked"))
+                yield rng.random() * 1e-5
+                log.append((env.now, name, "back"))
+
+        for i in range(25):
+            env.process(jittery(f"p{i}"))
+        sleepers = [env.process(sleeper(f"s{i}")) for i in range(5)]
+
+        def meddler():
+            yield 2e-6
+            for p in sleepers[::2]:
+                if p.is_alive:
+                    p.interrupt("poke")
+            log.append((env.now, "meddled"))
+        env.process(meddler())
+        env.run()
+        return log
+
+    fast = workload(Environment(bucket_width=1e-6, num_buckets=16))
+    # Interrupted processes raise into jittery generators which have no
+    # handler; both runs must crash identically or succeed identically.
+    pure = workload(Environment(bucket_width=float("inf")))
+    assert fast == pure
+    assert len(fast) > 25
