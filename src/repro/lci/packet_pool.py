@@ -292,6 +292,7 @@ class PacketPool:
                 pkt.tag = tag
                 pkt.size = size
                 pkt.payload = payload
+                pkt.slot = slot
                 if pkt.meta:
                     pkt.meta.clear()
                 pkt.uid = next(_packet_mod._packet_ids)
@@ -321,6 +322,10 @@ class PacketPool:
             # Cross-host retire is the norm (the receiver retires the
             # sender's descriptor): the slot goes back to its *owner*.
             owner._free_idx.append(pkt.slot)
+            # slot < 0 while the descriptor sits on the free list makes
+            # a double retire a no-op instead of handing the same slot
+            # out twice; make_packet re-stamps it on reacquisition.
+            pkt.slot = -1
             pkt.payload = None
             pkt.request = None
 

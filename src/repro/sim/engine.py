@@ -607,6 +607,16 @@ class Environment:
                 if self._rebase_streak >= _RESIZE_STREAK and width < _INF:
                     self._rebase_streak = 0
                     self._resize(width * _RESIZE_FACTOR)
+                    # _resize rebuilt _cur/_buckets/_far (and set
+                    # _cur_idx/_cur_end) under the new geometry; the
+                    # locals drained above and the rebase below refer
+                    # to the *old* calendar.  Restart the scan on the
+                    # fresh state instead of falling through.
+                    if self._cur:
+                        return True
+                    buckets = self._buckets
+                    i = self._cur_idx + 1
+                    continue
             else:
                 self._rebase_streak = 0
             self._cur_idx = -1
@@ -626,6 +636,10 @@ class Environment:
         for b in self._buckets:
             if b:
                 pending.extend(b)
+                # Empty the drained list in place so any stale alias
+                # (e.g. a scan loop holding the old bucket table) sees
+                # an empty bucket rather than re-delivering entries.
+                del b[:]
         pending.extend(self._far)
         self._width = float(new_width)
         self._base = self._now

@@ -355,6 +355,58 @@ def test_calendar_resize_mid_run_preserves_order():
     ]
 
 
+def test_automatic_resize_drops_and_duplicates_nothing():
+    # Regression: a streak of sparse rebases triggers the automatic
+    # width growth *inside* _advance.  The resize rebuilds the calendar
+    # mid-scan; the scan must restart on the fresh state or it will
+    # re-deliver (from the stale bucket table) and/or clobber the
+    # rebuilt current heap, losing events.  Both historical failure
+    # modes are pinned here.
+    def fire_at(times):
+        env = Environment(bucket_width=1.0, num_buckets=4)
+        fired = []
+        for t in times:
+            env.call_later(t, (lambda tt: (lambda: fired.append(tt)))(t))
+        env.run()
+        assert env._width > 1.0  # the automatic resize actually ran
+        return fired
+
+    # Lost-event shape: 306 lands in the rebuilt current heap, which a
+    # stale fall-through used to overwrite.
+    assert fire_at([100, 200, 300, 305, 306]) == [100, 200, 300, 305, 306]
+    # Duplicate-event shape: 400 sat in a drained-but-uncleared old
+    # bucket and used to be delivered twice.
+    assert fire_at([100, 200, 300, 400, 500]) == [100, 200, 300, 400, 500]
+
+
+def test_sparse_rebase_streak_matches_pure_heap():
+    # Coarse-timescale workload: every delay dwarfs the whole calendar
+    # window (bucket_width * num_buckets = 4 s vs ~1000 s gaps), so each
+    # rebase migrates one or two entries and the resize streak trips
+    # repeatedly.  The fire order must equal the degenerate single-heap
+    # scheduler's, event for event.
+    import random
+
+    def workload(env):
+        rng = random.Random(99)
+        log = []
+
+        def proc(name):
+            for _ in range(6):
+                yield 100.0 + rng.random() * 1000.0
+                log.append((env.now, name))
+
+        for i in range(6):
+            env.process(proc(f"p{i}"))
+        env.run()
+        return log
+
+    calendar = workload(Environment(bucket_width=1.0, num_buckets=4))
+    pure = workload(Environment(bucket_width=float("inf")))
+    assert calendar == pure
+    assert len(calendar) == 36
+
+
 def test_interrupt_from_fast_timeout_path():
     # A process sleeping via the zero-allocation float-yield path must
     # still be interruptible, and the stale fast-timer must not fire.
