@@ -5,11 +5,13 @@ A curated set of canonical scenarios run under the host-side profiler
 the repo root.  Each scenario contributes two blocks:
 
 * ``sim`` — **deterministic**: simulated seconds, rounds, message and
-  update volumes, event counts, the full work-counter dictionary, and
-  its fingerprint.  Pure functions of the scenario, so CI regenerates
-  them and fails on drift (exactly the ``BENCH_serve.json`` contract).
-  Any perf refactor that changes these changed *behaviour*, not just
-  speed.
+  update volumes, event counts, the full work-counter dictionary, its
+  fingerprint, and the communication-observatory totals (wire/blob
+  volume + comm fingerprint, from an extra untimed run that also pins
+  the observatory's bit-identity contract).  Pure functions of the
+  scenario, so CI regenerates them and fails on drift (exactly the
+  ``BENCH_serve.json`` contract).  Any perf refactor that changes
+  these changed *behaviour*, not just speed.
 * ``wall`` — **informational**: host wall-clock for the engine run
   (min over repeats), events/sec, simulated messages/sec.  Machine-
   dependent, so :func:`check_against_file` ignores it; the committed
@@ -27,6 +29,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.bench.scenarios import Scenario, build_engine
 from repro.bench.serve_bench import compare_bench_docs
+from repro.obs.commstats import CommStatsContext
 from repro.obs.profile import ProfileContext, cpu_now, wall_now
 
 __all__ = [
@@ -100,6 +103,20 @@ def core_benchmark(
                     f"{first_ctx.counters.fingerprint()})"
                 )
         counters = first_ctx.counters
+        # One extra *untimed* run under the comm observatory: keeps the
+        # committed wall trajectory comparable (the timed repeats stay
+        # hook-free) while pinning both the traffic fingerprint and the
+        # bit-identity contract — a commstats run must reproduce the
+        # plain run's RunMetrics exactly.
+        comm_ctx = CommStatsContext()
+        comm_metrics = build_engine(sc, commstats=comm_ctx).run()
+        if comm_metrics.row() != first_metrics.row():
+            raise AssertionError(
+                f"{sc.label()}: RunMetrics changed under commstats — "
+                "the observatory must be a pure observer"
+            )
+        comm_doc = comm_ctx.comm_doc()
+        comm_totals = comm_doc["totals"]
         wall = min(walls)
         events = counters.get("sim.events_fired")
         messages = first_metrics.blobs_sent
@@ -115,6 +132,13 @@ def core_benchmark(
                 "events_scheduled": counters.get("sim.events_scheduled"),
                 "counters": counters.as_dict(),
                 "fingerprint": counters.fingerprint(),
+                "comm": {
+                    "wire_msgs": comm_totals["wire_msgs"],
+                    "wire_bytes": comm_totals["wire_bytes"],
+                    "blob_msgs": comm_totals["blob_msgs"],
+                    "blob_bytes": comm_totals["blob_bytes"],
+                    "fingerprint": comm_doc["fingerprint"],
+                },
             },
             "wall": {
                 "wall_seconds": round(wall, 6),

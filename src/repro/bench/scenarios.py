@@ -84,7 +84,7 @@ def run_scenario(sc: Scenario) -> RunMetrics:
 
 def build_engine(
     sc: Scenario, tracer=None, fault_plan=None, obs=None, *,
-    app=None, graph=None, partition=None, profile=None,
+    app=None, graph=None, partition=None, profile=None, commstats=None,
 ) -> BspEngine:
     """Construct the (unrun) engine for a scenario.
 
@@ -93,7 +93,9 @@ def build_engine(
     field; ``obs`` attaches a :class:`repro.obs.ObsContext` for
     message-lifecycle tracing; ``profile`` attaches a
     :class:`repro.obs.profile.ProfileContext` for host-side region
-    profiling and work counters.  Callers that need the engine
+    profiling and work counters; ``commstats`` attaches a
+    :class:`repro.obs.commstats.CommStatsContext` collecting traffic
+    matrices.  Callers that need the engine
     afterwards — for ``assemble_global`` or injector statistics — use
     this instead of :func:`run_scenario`.
 
@@ -163,5 +165,6 @@ def build_engine(
         sanitize=sc.sanitize,
         obs=obs,
         profile=profile,
+        commstats=commstats,
     )
     return BspEngine(graph, app, cfg, partition=partition)

@@ -24,6 +24,11 @@
         [--top 15] [--json prof.json] [--collapsed prof.folded]
     python -m repro bench-core [--out BENCH_core.json] \\
         [--check BENCH_core.json] [--compare OLD.json] [--overhead]
+    python -m repro run ... --comm comm.json
+    python -m repro explain obs.json --comm
+    python -m repro commstats --app bfs --scale 10 --hosts 8 --layer lci
+    python -m repro commstats --canonical [--check-baseline \\
+        [COMM_BASELINE.json]] [--write-baseline [COMM_BASELINE.json]]
 
 Each subcommand prints the same tables the benchmark harness produces.
 
@@ -92,6 +97,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--obs-prom", metavar="PATH",
                      help="also export aggregate obs metrics in "
                           "Prometheus text format (implies --obs)")
+    run.add_argument("--comm", nargs="?", const="comm.json",
+                     metavar="PATH", dest="comm_path",
+                     help="collect per-(src,dst,kind/phase) traffic "
+                          "matrices and write the comm-doc JSON; with "
+                          "--obs-prom the repro_comm_* families are "
+                          "merged into the Prometheus output")
 
     chaos = sub.add_parser(
         "chaos", help="run one scenario under a named fault plan"
@@ -139,6 +150,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="how many slowest messages to break down")
     explain.add_argument("--per-round", action="store_true",
                          help="include the per-round dominant-stage table")
+    explain.add_argument("--comm", action="store_true",
+                         help="append the communication-pattern report "
+                              "(blob matrices reconstructed from the "
+                              "timeline's api events)")
 
     sweep = sub.add_parser("sweep", help="host-count sweep across layers")
     sweep.add_argument("--app", default="pagerank",
@@ -206,6 +221,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--obs-prom", metavar="PATH",
                        help="also export service latency + obs metrics "
                             "in Prometheus text format (implies --obs)")
+    serve.add_argument("--comm", action="store_true",
+                       help="collect per-batch traffic matrices and "
+                            "include the comm summary in batch logs "
+                            "and the report")
 
     bench_serve = sub.add_parser(
         "bench-serve",
@@ -247,6 +266,59 @@ def build_parser() -> argparse.ArgumentParser:
                          dest="collapsed_path",
                          help="write a collapsed-stack (flamegraph.pl "
                               "/ speedscope) export")
+
+    commstats = sub.add_parser(
+        "commstats",
+        help="communication-pattern observatory: traffic matrices, "
+             "skew analytics, and comm fingerprints",
+    )
+    commstats.add_argument("--app", default="bfs",
+                           choices=["bfs", "cc", "sssp", "pagerank",
+                                    "kcore"])
+    commstats.add_argument("--graph", default="rmat",
+                           choices=["rmat", "kron", "webcrawl"])
+    commstats.add_argument("--scale", type=int, default=10)
+    commstats.add_argument("--hosts", type=int, default=8)
+    commstats.add_argument("--layer", default="lci",
+                           choices=list(LAYER_NAMES))
+    commstats.add_argument("--system", default="abelian",
+                           choices=["abelian", "gemini"])
+    commstats.add_argument("--machine", default="stampede2",
+                           choices=["stampede2", "stampede1"])
+    commstats.add_argument("--mpi", default="intelmpi", dest="mpi_impl",
+                           choices=["intelmpi", "mvapich2", "openmpi"])
+    commstats.add_argument("--pagerank-rounds", type=int, default=20)
+    commstats.add_argument("--seed", type=int, default=1)
+    commstats.add_argument("--fault-plan", default=None,
+                           help="run under a named fault plan (the "
+                                "dropped matrix attributes lost bytes)")
+    commstats.add_argument("--canonical", action="store_true",
+                           help="run every canonical bench-core "
+                                "scenario instead of one ad-hoc run")
+    commstats.add_argument("--json", metavar="PATH", dest="json_path",
+                           help="write the comm-doc JSON (with "
+                                "--canonical: a label->doc mapping)")
+    commstats.add_argument("--csv", metavar="PATH", dest="csv_path",
+                           help="write the flat CSV matrix dump "
+                                "(single-scenario mode only)")
+    commstats.add_argument("--heatmap", metavar="PATH",
+                           dest="heatmap_path",
+                           help="write the ASCII heatmap(s) to PATH")
+    commstats.add_argument("--prom", metavar="PATH", dest="prom_path",
+                           help="write the repro_comm_* Prometheus "
+                                "families (single-scenario mode only)")
+    commstats.add_argument("--write-baseline", nargs="?",
+                           const="COMM_BASELINE.json", default=None,
+                           metavar="PATH", dest="write_baseline",
+                           help="write per-scenario comm fingerprints "
+                                "for the canonical scenarios (implies "
+                                "--canonical)")
+    commstats.add_argument("--check-baseline", nargs="?",
+                           const="COMM_BASELINE.json", default=None,
+                           metavar="PATH", dest="check_baseline",
+                           help="exit 1 if any canonical scenario's "
+                                "comm volume drifted from the baseline "
+                                "file (implies --canonical)")
 
     bench_core = sub.add_parser(
         "bench-core",
@@ -340,6 +412,10 @@ def _cmd_run(args) -> int:
         obs = ObsContext()
         if obs_path is None:
             obs_path = "obs-timeline.json"
+    commstats = None
+    if args.comm_path:
+        from repro.obs import CommStatsContext
+        commstats = CommStatsContext()
     sc = Scenario(
         app=args.app, graph=args.graph, scale=args.scale, hosts=args.hosts,
         layer=args.layer, system=args.system, machine=args.machine,
@@ -350,7 +426,8 @@ def _cmd_run(args) -> int:
 
     wall0 = wall_now()
     try:
-        m = build_engine(sc, tracer=tracer, obs=obs).run()
+        m = build_engine(sc, tracer=tracer, obs=obs,
+                         commstats=commstats).run()
     except SanitizerError as exc:
         print(f"sanitizer violation: {exc}", file=sys.stderr)
         return SANITIZER_EXIT_CODE
@@ -358,8 +435,18 @@ def _cmd_run(args) -> int:
     if tracer is not None:
         tracer.save(args.trace)
         print(f"trace written to {args.trace}")
+    comm_doc = None
+    if commstats is not None:
+        from repro.obs import save_comm_doc
+        comm_doc = commstats.comm_doc(meta={"scenario": sc.label()})
+        save_comm_doc(args.comm_path, comm_doc)
+        totals = comm_doc["totals"]
+        print(f"comm-doc written to {args.comm_path} "
+              f"({totals['wire_msgs']} pkts / {totals['wire_bytes']} "
+              f"wire bytes, fingerprint {comm_doc['fingerprint']})")
     if obs is not None:
-        _export_obs(obs, m, sc, obs_path, args.obs_chrome, args.obs_prom)
+        _export_obs(obs, m, sc, obs_path, args.obs_chrome, args.obs_prom,
+                    comm_doc)
     print(format_table([m.row()]))
     print(f"\ntotal {format_seconds(m.total_seconds)} = compute "
           f"{format_seconds(m.compute_seconds)} + comm "
@@ -386,7 +473,8 @@ def _obs_meta(m, sc: Scenario) -> dict:
     }
 
 
-def _export_obs(obs, m, sc: Scenario, obs_path, chrome_path, prom_path):
+def _export_obs(obs, m, sc: Scenario, obs_path, chrome_path, prom_path,
+                comm_doc=None):
     from repro.obs import (
         build_timelines,
         format_stage_table,
@@ -404,7 +492,7 @@ def _export_obs(obs, m, sc: Scenario, obs_path, chrome_path, prom_path):
         save_chrome_trace(chrome_path, timeline)
         print(f"obs chrome trace written to {chrome_path}")
     if prom_path:
-        save_prometheus(prom_path, timeline)
+        save_prometheus(prom_path, timeline, comm=comm_doc)
         print(f"obs prometheus metrics written to {prom_path}")
     print("\nstage attribution (per layer):")
     print(format_stage_table(stage_attribution(build_timelines(timeline))))
@@ -427,6 +515,10 @@ def _cmd_explain(args) -> int:
                 print(f"invalid timeline: {err}", file=sys.stderr)
             return 1
     print(explain_report(timeline, top=args.top, per_round=args.per_round))
+    if args.comm:
+        from repro.obs import format_comm_report, timeline_comm_doc
+        print()
+        print(format_comm_report(timeline_comm_doc(timeline)))
     return 0
 
 
@@ -460,7 +552,10 @@ def _cmd_chaos(args) -> int:
         seed=args.seed, sanitize=args.sanitize,
     )
     try:
-        report = run_chaos(sc, plan, tracer=tracer, obs=obs)
+        # --obs also arms the comm observatory so the report can
+        # attribute byte deltas (retransmits, drops) to the fault plan.
+        report = run_chaos(sc, plan, tracer=tracer, obs=obs,
+                           commstats=obs is not None)
     except SanitizerError as exc:
         print(f"sanitizer violation: {exc}", file=sys.stderr)
         return SANITIZER_EXIT_CODE
@@ -608,7 +703,7 @@ def _cmd_serve(args) -> int:
     )
     try:
         engine = ServeEngine(config, obs_config=obs_config,
-                             profile=profile)
+                             profile=profile, commstats=args.comm)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -657,6 +752,122 @@ def _cmd_serve(args) -> int:
         print(format_violations(report.sanitizer_violations),
               file=sys.stderr)
         return SANITIZER_EXIT_CODE
+    return 0
+
+
+def _cmd_commstats(args) -> int:
+    import json as _json
+
+    from repro.obs.commstats import (
+        CommStatsContext,
+        baseline_entry,
+        baseline_to_json,
+        check_comm_baseline,
+        comm_doc_to_csv,
+        comm_doc_to_json,
+        comm_prometheus_lines,
+        format_comm_report,
+        make_baseline,
+        render_heatmap,
+    )
+
+    canonical = bool(
+        args.canonical or args.write_baseline or args.check_baseline
+    )
+    if canonical:
+        from repro.bench.core_bench import CANONICAL_SCENARIOS
+        if args.fault_plan:
+            print("error: --fault-plan is incompatible with the "
+                  "canonical baseline scenarios", file=sys.stderr)
+            return 2
+        scenarios = list(CANONICAL_SCENARIOS)
+    else:
+        scenarios = [Scenario(
+            app=args.app, graph=args.graph, scale=args.scale,
+            hosts=args.hosts, layer=args.layer, system=args.system,
+            machine=args.machine, mpi_impl=args.mpi_impl,
+            pagerank_rounds=args.pagerank_rounds, seed=args.seed,
+        )]
+
+    docs = {}
+    for sc in scenarios:
+        ctx = CommStatsContext()
+        build_engine(sc, fault_plan=args.fault_plan, commstats=ctx).run()
+        docs[sc.label()] = ctx.comm_doc(meta={"scenario": sc.label()})
+
+    if canonical:
+        for label in sorted(docs):
+            totals = docs[label]["totals"]
+            print(f"{label}: {totals['wire_msgs']} pkts / "
+                  f"{totals['wire_bytes']} wire bytes, "
+                  f"{totals['blob_msgs']} blobs / "
+                  f"{totals['blob_bytes']} payload bytes, "
+                  f"fingerprint {docs[label]['fingerprint']}")
+    else:
+        print(format_comm_report(next(iter(docs.values()))))
+
+    if args.json_path:
+        if canonical:
+            payload = _json.dumps(docs, sort_keys=True, indent=2) + "\n"
+        else:
+            payload = comm_doc_to_json(next(iter(docs.values())))
+        with open(args.json_path, "w") as fh:
+            fh.write(payload)
+        print(f"comm-doc json written to {args.json_path}")
+    if args.csv_path:
+        if canonical:
+            print("error: --csv needs single-scenario mode",
+                  file=sys.stderr)
+            return 2
+        with open(args.csv_path, "w") as fh:
+            fh.write(comm_doc_to_csv(next(iter(docs.values()))))
+        print(f"comm csv written to {args.csv_path}")
+    if args.heatmap_path:
+        chunks = []
+        for label in sorted(docs):
+            chunks.append(f"== {label} ==")
+            chunks.append(render_heatmap(docs[label]))
+            chunks.append("")
+        with open(args.heatmap_path, "w") as fh:
+            fh.write("\n".join(chunks))
+        print(f"heatmap written to {args.heatmap_path}")
+    if args.prom_path:
+        if canonical:
+            print("error: --prom needs single-scenario mode",
+                  file=sys.stderr)
+            return 2
+        with open(args.prom_path, "w") as fh:
+            fh.write(
+                "\n".join(comm_prometheus_lines(next(iter(docs.values()))))
+                + "\n"
+            )
+        print(f"comm prometheus metrics written to {args.prom_path}")
+
+    entries = {label: baseline_entry(docs[label]) for label in docs}
+    if args.write_baseline:
+        with open(args.write_baseline, "w") as fh:
+            fh.write(baseline_to_json(make_baseline(entries)))
+        print(f"comm baseline written to {args.write_baseline}")
+        return 0
+    if args.check_baseline:
+        try:
+            with open(args.check_baseline) as fh:
+                committed = _json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read baseline "
+                  f"{args.check_baseline}: {exc}", file=sys.stderr)
+            return 2
+        problems = check_comm_baseline(entries, committed)
+        if problems:
+            for problem in problems:
+                print(f"comm drift: {problem}", file=sys.stderr)
+            print(f"{len(problems)} drift(s) vs {args.check_baseline}; "
+                  "communication volume changed — fix the regression or "
+                  "regenerate deliberately with `repro commstats "
+                  f"--canonical --write-baseline {args.check_baseline}`",
+                  file=sys.stderr)
+            return 1
+        print(f"comm fingerprints match {args.check_baseline}")
     return 0
 
 
@@ -764,7 +975,9 @@ def _cmd_bench_core(args) -> int:
               f"{wall['wall_seconds']}s wall "
               f"({wall['events_per_sec']} events/s, "
               f"{wall['sim_msgs_per_sec']} sim-msgs/s), "
-              f"fingerprint {sim['fingerprint']}")
+              f"fingerprint {sim['fingerprint']}, "
+              f"comm {sim['comm']['wire_bytes']} B "
+              f"[{sim['comm']['fingerprint']}]")
     rc = 0
     if args.check:
         diffs = check_core_against_file(doc, args.check)
@@ -913,6 +1126,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "inputs": _cmd_inputs,
         "calibrate": _cmd_calibrate,
         "serve": _cmd_serve,
+        "commstats": _cmd_commstats,
         "bench-serve": _cmd_bench_serve,
         "profile": _cmd_profile,
         "bench-core": _cmd_bench_core,

@@ -62,6 +62,9 @@ class CommLayer:
         #: Optional ObsContext; subclasses overwrite this with the
         #: fabric's context at construction (discovery pattern).
         self.obs = None
+        #: Optional CommStatsContext, discovered the same way; records
+        #: the blob-level (src, dst, phase) traffic matrix.
+        self.commstats = None
         #: phase -> list of (src, blob) already received but not collected
         self._stash: Dict[object, List[Tuple[int, UpdateBlob]]] = {}
         self._stash_waiters: Dict[object, Event] = {}
@@ -84,7 +87,14 @@ class CommLayer:
         Returns the id (or ``None`` with obs off).  The id is stored on
         the blob (``blob.trace_id``) so the receive side can emit the
         terminal event for the same trace.
+
+        This is also the blob-level commstats tap: every layer calls it
+        exactly once per ``send()``, so the recorded blob counts/bytes
+        telescope to ``RunMetrics.blobs_sent``/``payload_bytes_sent``.
         """
+        commstats = self.commstats
+        if commstats is not None:
+            commstats.on_blob(self.host, dst, blob)
         if self.obs is None:
             return None
         trace = self.obs.new_trace(self.name, self.host, dst)

@@ -76,6 +76,7 @@ class ProbeCommLayer(CommLayer):
         super().__init__(env, host, machine)
         self.ep = endpoint
         self.obs = getattr(endpoint.nic.fabric, "obs", None)
+        self.commstats = getattr(endpoint.nic.fabric, "commstats", None)
         self.flush_timeout = flush_timeout
         self.inline_sends = inline_sends
         self.buffered = buffered

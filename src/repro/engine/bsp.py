@@ -111,6 +111,12 @@ class EngineConfig:
     #: queues, and pools self-discover it.  Same contract: a profiled
     #: run is bit-identical to a plain one.
     profile: Optional[object] = None
+    #: Optional :class:`repro.obs.commstats.CommStatsContext` for
+    #: per-(src, dst, kind/phase) traffic matrices and size histograms.
+    #: Installed before the layers are built (like obs) so every comm
+    #: layer self-discovers it.  Same contract: a run with commstats
+    #: enabled is bit-identical to one without.
+    commstats: Optional[object] = None
 
 
 class BspEngine:
@@ -175,6 +181,13 @@ class BspEngine:
         self.obs = config.obs
         if self.obs is not None:
             self.obs.install(self.env, self.fabric)
+        # The comm-pattern observatory rides the fabric the same way and
+        # must precede the layers (they discover it at construction for
+        # the blob-level tap in CommLayer.trace_send).
+        self.commstats = config.commstats
+        if self.commstats is not None:
+            self.commstats.install(self.env, self.fabric,
+                                   layer=config.layer)
         # Host-side profiling rides the fabric/environment the same way
         # (and must precede the layers so matching queues and packet
         # pools pick up their counter hooks at construction).

@@ -71,6 +71,10 @@ class ChaosReport:
     rounds: int = 0
     #: Warn-mode sanitizer violations from both runs (baseline first).
     sanitizer_violations: List[Dict] = field(default_factory=list)
+    #: Fault-attributed traffic deltas (baseline vs. faulted wire
+    #: volume, plus what the injector actually dropped), populated when
+    #: :func:`run_chaos` ran with ``commstats=True``.
+    comm: Dict = field(default_factory=dict)
 
     @property
     def correct(self) -> bool:
@@ -109,6 +113,7 @@ def run_chaos(
     fault_seed: Optional[int] = None,
     tracer=None,
     obs=None,
+    commstats: bool = False,
 ) -> ChaosReport:
     """Run ``sc`` fault-free and under ``plan``; compare and report.
 
@@ -117,10 +122,21 @@ def run_chaos(
     difference is attributable to the faults.  ``obs`` (an
     :class:`repro.obs.ObsContext`) attaches lifecycle tracing to the
     *faulted* run only — the baseline stays instrumentation-free.
+    ``commstats=True`` attaches a traffic matrix to *both* runs and
+    fills :attr:`ChaosReport.comm` with fault-attributed byte deltas
+    (retransmissions show up as extra wire volume over the baseline;
+    the injector's kills as the dropped matrix).
     """
     plan = get_plan(plan, fault_seed)
 
-    base_engine = build_engine(sc)
+    base_comm = faulted_comm = None
+    if commstats:
+        from repro.obs.commstats import CommStatsContext
+
+        base_comm = CommStatsContext()
+        faulted_comm = CommStatsContext()
+
+    base_engine = build_engine(sc, commstats=base_comm)
     base_metrics = base_engine.run()
     base_answer = base_engine.assemble_global()
     sanitizer_violations: List[Dict] = list(base_metrics.sanitizer_violations)
@@ -136,9 +152,13 @@ def run_chaos(
     if plan.empty:
         report.faulted_seconds = base_metrics.total_seconds
         report.rounds = base_metrics.rounds
+        if base_comm is not None:
+            base_doc = base_comm.comm_doc()
+            report.comm = _comm_delta(base_doc, base_doc)
         return report
 
-    engine = build_engine(sc, fault_plan=plan, tracer=tracer, obs=obs)
+    engine = build_engine(sc, fault_plan=plan, tracer=tracer, obs=obs,
+                          commstats=faulted_comm)
     try:
         metrics = engine.run()
     except LostCompletionError as exc:
@@ -170,7 +190,29 @@ def run_chaos(
         # The context (not the metrics) has the violations even when the
         # faulted run hung or crashed before producing metrics.
         sanitizer_violations.extend(engine.sanitizer_ctx.as_dicts())
+    if faulted_comm is not None:
+        # Counts are recorded at injection time, so the faulted matrix
+        # is meaningful even when the run later hung or crashed.
+        report.comm = _comm_delta(base_comm.comm_doc(),
+                                  faulted_comm.comm_doc())
     return report
+
+
+def _comm_delta(base_doc: dict, fault_doc: dict) -> Dict:
+    """Fault-attributed traffic deltas between two comm-docs."""
+    b, f = base_doc["totals"], fault_doc["totals"]
+    return {
+        "baseline_msgs": b["wire_msgs"],
+        "baseline_bytes": b["wire_bytes"],
+        "faulted_msgs": f["wire_msgs"],
+        "faulted_bytes": f["wire_bytes"],
+        "delta_msgs": f["wire_msgs"] - b["wire_msgs"],
+        "delta_bytes": f["wire_bytes"] - b["wire_bytes"],
+        "dropped_msgs": f["dropped_msgs"],
+        "dropped_bytes": f["dropped_bytes"],
+        "baseline_fingerprint": base_doc["fingerprint"],
+        "faulted_fingerprint": fault_doc["fingerprint"],
+    }
 
 
 # ----------------------------------------------------------------------
@@ -310,6 +352,15 @@ def format_chaos_report(report: ChaosReport) -> str:
             f"{k}={v}" for k, v in sorted(report.recovery.items())
         )
         lines.append(f"recovery : {pairs}")
+    if report.comm:
+        c = report.comm
+        lines.append(
+            f"comm     : {c['baseline_bytes']} B fault-free -> "
+            f"{c['faulted_bytes']} B faulted "
+            f"({c['delta_bytes']:+d} B, {c['delta_msgs']:+d} pkts); "
+            f"injector dropped {c['dropped_msgs']} pkts / "
+            f"{c['dropped_bytes']} B"
+        )
     if report.sanitizer_violations:
         lines.append(format_violations(report.sanitizer_violations))
     return "\n".join(lines)

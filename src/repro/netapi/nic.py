@@ -73,8 +73,9 @@ class Nic:
     """One host's network interface.
 
     ``try_inject`` and ``deliver`` are *rebindable method slots*: when no
-    fault injector, observability context, or profiler is attached to the
-    fabric, the instance attributes point at stripped-down fast variants
+    fault injector, observability context, commstats collector, or
+    profiler is attached to the fabric, the instance attributes point at
+    stripped-down fast variants
     with zero hook branches on the per-packet path; attaching any of them
     (a :class:`Fabric` property setter) rebinds every NIC to the general
     variants.  Both variants schedule exactly the same calendar entries
@@ -111,7 +112,7 @@ class Nic:
     def _rebind(self) -> None:
         """Select fast or general per-packet entry points (see class doc)."""
         fab = self.fabric
-        if fab._faults is None and fab._obs is None:
+        if fab._faults is None and fab._obs is None and fab._commstats is None:
             if fab._profiler is None:
                 self.try_inject = self._inject_plain
                 self.deliver = self._deliver_plain
@@ -300,6 +301,12 @@ class Nic:
         obs = self.fabric._obs
         if obs is not None:
             obs.on_inject(pkt)
+        commstats = self.fabric._commstats
+        if commstats is not None:
+            # Counted at injection, right after the always-on NIC
+            # counters, so the traffic matrices telescope exactly to
+            # pkts_sent/bytes_sent (dropped packets included).
+            commstats.on_inject(pkt)
 
         def _departed() -> None:
             self._tx_outstanding -= 1
@@ -318,6 +325,8 @@ class Nic:
             # lost with the packet — the classic lost-completion fault.
             if obs is not None:
                 obs.on_drop(pkt)
+            if commstats is not None:
+                commstats.on_drop(pkt)
             return True
 
         def _arrived() -> None:
@@ -455,12 +464,13 @@ class Fabric:
         self._faults = None
         self._obs = None
         self._profiler = None
+        self._commstats = None
         self._nics = [
             Nic(env, self, h, machine.nic, StatRegistry(f"{stats_prefix}.nic{h}"))
             for h in range(num_hosts)
         ]
 
-    # The three optional contexts are properties so that attaching (or
+    # The optional contexts are properties so that attaching (or
     # detaching) one rebinds every NIC's per-packet entry points — the
     # hooks cost literally nothing when off, instead of a None-check
     # chain on every packet.  Setter order doesn't matter; rebinding is
@@ -501,6 +511,20 @@ class Fabric:
     @profiler.setter
     def profiler(self, value) -> None:
         self._profiler = value
+        for n in self._nics:
+            n._rebind()
+
+    @property
+    def commstats(self):
+        """Optional :class:`repro.obs.commstats.CommStatsContext`
+        (per-(src, dst, kind) traffic matrices + size histograms);
+        ``None`` keeps every hook a no-op.  Same contract as ``obs``:
+        pure observation, bit-identical runs."""
+        return self._commstats
+
+    @commstats.setter
+    def commstats(self, value) -> None:
+        self._commstats = value
         for n in self._nics:
             n._rebind()
 

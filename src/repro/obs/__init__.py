@@ -8,10 +8,27 @@ critical-path analyzer attributes end-to-end latency to protocol
 stages (``repro run --obs`` / ``repro explain``).  Host-side
 *wall-clock* profiling — nestable regions over the simulator's hot
 paths plus deterministic work counters — lives in
-:mod:`repro.obs.profile` (``repro profile`` / ``repro bench-core``).
+:mod:`repro.obs.profile` (``repro profile`` / ``repro bench-core``);
+the communication-pattern observatory — per-(src, dst, kind/phase)
+traffic matrices, size histograms, skew analytics, and the CI-gated
+comm fingerprints — lives in :mod:`repro.obs.commstats`
+(``repro commstats`` / ``repro explain --comm``).
 See docs/OBSERVABILITY.md.
 """
 
+from repro.obs.commstats import (
+    CommStatsContext,
+    analyze_comm,
+    check_comm_baseline,
+    comm_doc_to_csv,
+    comm_doc_to_json,
+    comm_fingerprint,
+    comm_prometheus_lines,
+    format_comm_report,
+    render_heatmap,
+    save_comm_doc,
+    timeline_comm_doc,
+)
 from repro.obs.context import (
     STAGES,
     TERMINAL_STAGES,
@@ -48,6 +65,7 @@ from repro.obs.profile import (
 from repro.obs.validate import (
     validate_chrome_trace,
     validate_collapsed,
+    validate_comm_doc,
     validate_profile_doc,
     validate_prometheus,
     validate_timeline,
@@ -79,6 +97,18 @@ __all__ = [
     "validate_prometheus",
     "validate_collapsed",
     "validate_profile_doc",
+    "validate_comm_doc",
+    "CommStatsContext",
+    "analyze_comm",
+    "comm_fingerprint",
+    "comm_doc_to_json",
+    "comm_doc_to_csv",
+    "save_comm_doc",
+    "render_heatmap",
+    "comm_prometheus_lines",
+    "format_comm_report",
+    "timeline_comm_doc",
+    "check_comm_baseline",
     "LatencySummary",
     "percentile_nearest_rank",
     "ProfileContext",

@@ -257,6 +257,34 @@ def explain_report(
         f"traced messages: {len(timelines)} ({done} completed); "
         f"events: {len(timeline.get('events', ()))}"
     )
+    # End-to-end latency percentiles (nearest-rank, same summary the
+    # serve layer reports) — overall, plus per layer when several
+    # layers share the timeline.
+    from repro.obs.latency import LatencySummary
+
+    lat_by_layer: Dict[str, List[float]] = {}
+    for tl in timelines:
+        if tl.completed:
+            lat_by_layer.setdefault(tl.layer, []).append(tl.latency)
+    if lat_by_layer:
+        def _lat_line(label: str, values: List[float]) -> str:
+            d = LatencySummary.from_values(values).as_dict()
+            return (
+                f"{label}: p50={d['p50_us']:g}us p95={d['p95_us']:g}us "
+                f"p99={d['p99_us']:g}us max={d['max_us']:g}us "
+                f"(n={d['count']})"
+            )
+
+        all_values = [
+            v for layer in sorted(lat_by_layer)
+            for v in lat_by_layer[layer]
+        ]
+        lines.append(_lat_line("message latency", all_values))
+        if len(lat_by_layer) > 1:
+            for layer in sorted(lat_by_layer):
+                lines.append(
+                    "  " + _lat_line(layer, lat_by_layer[layer])
+                )
     lines.append("")
     lines.append("stage attribution (per layer):")
     lines.append(format_stage_table(att))

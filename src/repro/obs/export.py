@@ -137,7 +137,8 @@ def _labels(pairs: List[Tuple[str, object]]) -> str:
     return "{" + inner + "}"
 
 
-def to_prometheus(timeline: dict, counters: Dict[str, int] = None) -> str:
+def to_prometheus(timeline: dict, counters: Dict[str, int] = None,
+                  comm: dict = None) -> str:
     """Prometheus exposition text for one run's timeline.
 
     Families: ``repro_obs_stage_seconds_total`` (per layer/stage),
@@ -147,36 +148,52 @@ def to_prometheus(timeline: dict, counters: Dict[str, int] = None) -> str:
     gauges recovered from the timeline's ``meta``.  ``counters`` (a
     :meth:`CounterRegistry.as_dict` mapping from the host-side
     profiler) adds a ``repro_work_counter_total`` family so serve
-    deployments expose work counts alongside latency.  Lines are sorted
-    within each family; output is deterministic.
+    deployments expose work counts alongside latency; ``comm`` (a
+    comm-doc from :meth:`CommStatsContext.comm_doc`) merges the
+    ``repro_comm_*`` traffic-matrix families.  Lines are sorted within
+    each family; output is deterministic.
+
+    Counter families are *registered*: they are emitted with an
+    explicit 0-valued sample even when a run produced no data for them
+    (a zero-message run must not silently drop a family a dashboard
+    alerts on); only the gauge families stay data-gated.
     """
     timelines = build_timelines(timeline)
     lines: List[str] = []
 
+    def counter_family(name: str, help_text: str,
+                       samples: List[str]) -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} counter")
+        if samples:
+            lines.extend(samples)
+        else:
+            lines.append(f"{name} 0")
+
     att = stage_attribution(timelines)
-    lines.append(
-        "# HELP repro_obs_stage_seconds_total Simulated seconds attributed "
-        "to each message-lifecycle stage."
+    counter_family(
+        "repro_obs_stage_seconds_total",
+        "Simulated seconds attributed to each message-lifecycle stage.",
+        [
+            "repro_obs_stage_seconds_total"
+            f"{_labels([('layer', layer), ('stage', stage)])} "
+            f"{att[layer][stage]:.12g}"
+            for layer in sorted(att) for stage in sorted(att[layer])
+        ],
     )
-    lines.append("# TYPE repro_obs_stage_seconds_total counter")
-    for layer in sorted(att):
-        for stage in sorted(att[layer]):
-            labels = _labels([("layer", layer), ("stage", stage)])
-            lines.append(
-                f"repro_obs_stage_seconds_total{labels} "
-                f"{att[layer][stage]:.12g}"
-            )
 
     counts: Dict[str, int] = {}
     for tl in timelines:
         counts[tl.layer] = counts.get(tl.layer, 0) + 1
-    lines.append(
-        "# HELP repro_obs_messages_total Traced messages per comm layer."
+    counter_family(
+        "repro_obs_messages_total",
+        "Traced messages per comm layer.",
+        [
+            f"repro_obs_messages_total{_labels([('layer', layer)])} "
+            f"{counts[layer]}"
+            for layer in sorted(counts)
+        ],
     )
-    lines.append("# TYPE repro_obs_messages_total counter")
-    for layer in sorted(counts):
-        labels = _labels([("layer", layer)])
-        lines.append(f"repro_obs_messages_total{labels} {counts[layer]}")
 
     samples = sorted(
         (s for s in timeline.get("samples", ()) if s.get("values")),
@@ -198,28 +215,33 @@ def to_prometheus(timeline: dict, counters: Dict[str, int] = None) -> str:
     for host, kind, start, end in timeline.get("stalls", ()):
         key = (kind, host)
         stalls[key] = stalls.get(key, 0.0) + (end - start)
-    if stalls:
-        lines.append(
-            "# HELP repro_obs_stall_seconds_total Simulated seconds hosts "
-            "spent blocked on protocol resources."
-        )
-        lines.append("# TYPE repro_obs_stall_seconds_total counter")
-        for kind, host in sorted(stalls):
-            labels = _labels([("kind", kind), ("host", host)])
-            lines.append(
-                f"repro_obs_stall_seconds_total{labels} "
-                f"{stalls[(kind, host)]:.12g}"
-            )
+    counter_family(
+        "repro_obs_stall_seconds_total",
+        "Simulated seconds hosts spent blocked on protocol resources.",
+        [
+            "repro_obs_stall_seconds_total"
+            f"{_labels([('kind', kind), ('host', host)])} "
+            f"{stalls[(kind, host)]:.12g}"
+            for kind, host in sorted(stalls)
+        ],
+    )
 
-    if counters:
-        lines.append(
-            "# HELP repro_work_counter_total Deterministic host-side work "
-            "counters (events, packets, matching probes, pool traffic)."
+    if counters is not None:
+        counter_family(
+            "repro_work_counter_total",
+            "Deterministic host-side work counters (events, packets, "
+            "matching probes, pool traffic).",
+            [
+                f"repro_work_counter_total{_labels([('counter', name)])} "
+                f"{int(counters[name])}"
+                for name in sorted(counters)
+            ],
         )
-        lines.append("# TYPE repro_work_counter_total counter")
-        for name in sorted(counters):
-            labels = _labels([("counter", name)])
-            lines.append(f"repro_work_counter_total{labels} {int(counters[name])}")
+
+    if comm is not None:
+        from repro.obs.commstats import comm_prometheus_lines
+
+        lines.extend(comm_prometheus_lines(comm))
 
     meta = timeline.get("meta", {})
     metric_meta = [
@@ -239,7 +261,8 @@ def to_prometheus(timeline: dict, counters: Dict[str, int] = None) -> str:
 
 
 def save_prometheus(path: str, timeline: dict,
-                    counters: Dict[str, int] = None) -> str:
+                    counters: Dict[str, int] = None,
+                    comm: dict = None) -> str:
     """Atomic text write of the Prometheus dump."""
     directory = os.path.dirname(os.path.abspath(path))
     fd, tmp = tempfile.mkstemp(
@@ -247,7 +270,7 @@ def save_prometheus(path: str, timeline: dict,
     )
     try:
         with os.fdopen(fd, "w") as f:
-            f.write(to_prometheus(timeline, counters))
+            f.write(to_prometheus(timeline, counters, comm))
         os.replace(tmp, path)
     except BaseException:
         try:

@@ -20,6 +20,7 @@ __all__ = [
     "validate_prometheus",
     "validate_collapsed",
     "validate_profile_doc",
+    "validate_comm_doc",
 ]
 
 _KNOWN_STAGES = frozenset(STAGES)
@@ -267,4 +268,127 @@ def validate_profile_doc(doc) -> List[str]:
     fp = doc.get("fingerprint")
     if not (isinstance(fp, str) and re.fullmatch(r"[0-9a-f]{16}", fp or "")):
         errs.append(f"bad fingerprint {fp!r}")
+    return errs
+
+
+_COMM_LINK = re.compile(r"^\d+>\d+$")
+
+
+def validate_comm_doc(doc) -> List[str]:
+    """Check a comm-doc (`CommStatsContext.comm_doc` shape).
+
+    Beyond the schema, this recomputes the telescoping sums (section
+    ``msgs``/``bytes`` vs their matrix cells, doc ``totals`` vs the
+    sections) and the matrix fingerprint, so a hand-edited or corrupted
+    document cannot slip past the CI drift gate.
+    """
+    from repro.obs.commstats import comm_fingerprint
+
+    errs: List[str] = []
+    if not isinstance(doc, dict):
+        return ["comm-doc is not a JSON object"]
+    if doc.get("kind") != "repro-comm-doc":
+        errs.append(f"kind is {doc.get('kind')!r}, expected 'repro-comm-doc'")
+    if doc.get("version") != 1:
+        errs.append(f"unsupported version {doc.get('version')!r}")
+    meta = doc.get("meta")
+    if not isinstance(meta, dict):
+        errs.append("meta is not an object")
+        meta = {}
+    hosts = meta.get("hosts")
+    if not (hosts is None or (isinstance(hosts, int) and hosts >= 0)):
+        errs.append(f"meta.hosts is not a non-negative int: {hosts!r}")
+        hosts = None
+
+    section_sums = {}
+    for section in ("wire", "dropped", "blobs"):
+        data = doc.get(section)
+        if not isinstance(data, dict):
+            errs.append(f"{section} is not an object")
+            section_sums[section] = (0, 0)
+            continue
+        msgs_sum = 0
+        bytes_sum = 0
+        for kind, block in data.items():
+            where = f"{section}[{kind!r}]"
+            if not isinstance(block, dict):
+                errs.append(f"{where}: not an object")
+                continue
+            matrix = block.get("matrix")
+            if not isinstance(matrix, dict):
+                errs.append(f"{where}: matrix is not an object")
+                matrix = {}
+            cell_msgs = 0
+            cell_bytes = 0
+            for link, cell in matrix.items():
+                if not _COMM_LINK.match(link):
+                    errs.append(f"{where}: bad link key {link!r}")
+                    continue
+                if not (
+                    isinstance(cell, list) and len(cell) == 2
+                    and all(isinstance(v, int) and v >= 0 for v in cell)
+                ):
+                    errs.append(f"{where} {link}: bad cell {cell!r}")
+                    continue
+                if hosts:
+                    src, dst = link.split(">")
+                    if int(src) >= hosts or int(dst) >= hosts:
+                        errs.append(
+                            f"{where} {link}: host out of range (hosts={hosts})"
+                        )
+                cell_msgs += cell[0]
+                cell_bytes += cell[1]
+            for field, got, want in (
+                ("msgs", block.get("msgs"), cell_msgs),
+                ("bytes", block.get("bytes"), cell_bytes),
+            ):
+                if got != want:
+                    errs.append(
+                        f"{where}: {field} {got!r} != matrix sum {want}"
+                    )
+            msgs_sum += cell_msgs
+            bytes_sum += cell_bytes
+        section_sums[section] = (msgs_sum, bytes_sum)
+
+    hist = doc.get("hist")
+    if not isinstance(hist, dict):
+        errs.append("hist is not an object")
+        hist = {}
+    for kind, buckets in hist.items():
+        if not isinstance(buckets, dict):
+            errs.append(f"hist[{kind!r}]: not an object")
+            continue
+        for bucket, count in buckets.items():
+            if not (isinstance(bucket, str) and bucket.isdigit()):
+                errs.append(f"hist[{kind!r}]: bad bucket key {bucket!r}")
+            if not (isinstance(count, int) and count > 0):
+                errs.append(f"hist[{kind!r}][{bucket}]: bad count {count!r}")
+
+    totals = doc.get("totals")
+    if not isinstance(totals, dict):
+        errs.append("totals is not an object")
+        totals = {}
+    for prefix, section in (
+        ("wire", "wire"), ("dropped", "dropped"), ("blob", "blobs"),
+    ):
+        msgs_sum, bytes_sum = section_sums.get(section, (0, 0))
+        if totals.get(f"{prefix}_msgs") != msgs_sum:
+            errs.append(
+                f"totals.{prefix}_msgs {totals.get(f'{prefix}_msgs')!r} "
+                f"!= {section} sum {msgs_sum}"
+            )
+        if totals.get(f"{prefix}_bytes") != bytes_sum:
+            errs.append(
+                f"totals.{prefix}_bytes {totals.get(f'{prefix}_bytes')!r} "
+                f"!= {section} sum {bytes_sum}"
+            )
+
+    fp = doc.get("fingerprint")
+    if not (isinstance(fp, str) and re.fullmatch(r"[0-9a-f]{16}", fp or "")):
+        errs.append(f"bad fingerprint {fp!r}")
+    elif not errs and fp != comm_fingerprint(doc):
+        errs.append(
+            f"fingerprint {fp} does not match the matrices "
+            f"(recomputed {comm_fingerprint(doc)})"
+        )
     return errs

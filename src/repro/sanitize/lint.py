@@ -74,9 +74,12 @@ RULES: Dict[str, str] = {
 #: time: anything nondeterministic here changes the run.  ``serve`` is
 #: here because the query scheduler's decisions (batch composition,
 #: admission, cache order) feed the service clock and the tape-replay
-#: byte-identity guarantee.
+#: byte-identity guarantee.  ``obs`` is here because its exporters and
+#: the comm observatory promise byte-identical artifacts (timelines,
+#: comm-docs, fingerprints) for identical runs — any unordered
+#: iteration there breaks the CI drift gates built on those bytes.
 ORDER_SENSITIVE_DIRS = ("sim", "netapi", "lci", "mpi", "comm", "faults",
-                        "serve")
+                        "serve", "obs")
 
 _WALL_CLOCK = {
     "time.time", "time.time_ns",

@@ -81,8 +81,16 @@ class ServeConfig:
 class ServeEngine:
     """One resident graph + scheduler + cache + admission controller."""
 
-    def __init__(self, config: ServeConfig, obs_config=None, profile=None):
+    def __init__(self, config: ServeConfig, obs_config=None, profile=None,
+                 commstats: bool = False):
         self.config = config
+        #: When True, every executed batch gets a fresh
+        #: :class:`repro.obs.commstats.CommStatsContext`; the batch log
+        #: carries the per-batch traffic summary and the report gains a
+        #: ``comm`` block.  Off by default (zero hot-path cost).
+        self.commstats_enabled = bool(commstats)
+        #: Comm-doc of the most recent executed batch (export target).
+        self.last_comm = None
         #: Optional :class:`repro.obs.profile.ProfileContext` shared by
         #: every batch engine — regions and work counters accumulate
         #: across batches into one service-level profile.
@@ -241,9 +249,15 @@ class ServeEngine:
             cfg = self._obs_config if isinstance(self._obs_config, ObsConfig) \
                 else ObsConfig()
             obs_ctx = ObsContext(cfg)
+        comm_ctx = None
+        if self.commstats_enabled:
+            from repro.obs.commstats import CommStatsContext
+
+            comm_ctx = CommStatsContext()
         eng = build_engine(
             self._scenario, fault_plan=self._plan, obs=obs_ctx,
             app=app, graph=graph, partition=part, profile=self.profile,
+            commstats=comm_ctx,
         )
         try:
             metrics = eng.run()
@@ -290,13 +304,27 @@ class ServeEngine:
                 vec = np.ascontiguousarray(answers[:, col])
                 per_source[s] = vec
                 self.cache.put(self.graph_version, (kind, s), vec)
-        self.batch_log.append({
+        entry = {
             "batch": bid, "kind": kind, "size": len(batch),
             "sources": len(sources) if kind != "kcore" else 1,
             "status": "ok", "rounds": metrics.rounds,
             "sim_seconds": round(metrics.total_seconds, 9),
             "messages": metrics.blobs_sent,
-        })
+        }
+        if comm_ctx is not None:
+            doc = comm_ctx.comm_doc(meta={"batch": bid})
+            self.last_comm = doc
+            totals = doc["totals"]
+            entry["comm"] = {
+                "wire_msgs": totals["wire_msgs"],
+                "wire_bytes": totals["wire_bytes"],
+                "blob_msgs": totals["blob_msgs"],
+                "blob_bytes": totals["blob_bytes"],
+                "dropped_msgs": totals["dropped_msgs"],
+                "dropped_bytes": totals["dropped_bytes"],
+                "fingerprint": doc["fingerprint"],
+            }
+        self.batch_log.append(entry)
         return [
             QueryResult(
                 q, "ok", completed_at=self.clock,
@@ -400,6 +428,19 @@ class ServeReport:
             "sanitizer_violations": len(self.sanitizer_violations),
             "results": [r.as_row() for r in self.results],
         }
+        with_comm = [b for b in executed if "comm" in b]
+        if with_comm:
+            doc["comm"] = {
+                "batches": [
+                    dict(b["comm"], batch=b["batch"]) for b in with_comm
+                ],
+                "wire_msgs": sum(b["comm"]["wire_msgs"] for b in with_comm),
+                "wire_bytes": sum(b["comm"]["wire_bytes"] for b in with_comm),
+                "blob_msgs": sum(b["comm"]["blob_msgs"] for b in with_comm),
+                "blob_bytes": sum(
+                    b["comm"]["blob_bytes"] for b in with_comm
+                ),
+            }
         if include_wall:
             wall_qps = (
                 len(ok) / self.wall_seconds if self.wall_seconds > 0 else 0.0
@@ -429,4 +470,12 @@ def format_serve_report(report: ServeReport) -> str:
         f"{t['messages_per_sec']} msgs/s over {t['sim_seconds']}s "
         f"simulated",
     ]
+    comm = doc.get("comm")
+    if comm:
+        lines.append(
+            f"  comm      : {comm['wire_msgs']} pkts / "
+            f"{comm['wire_bytes']} B on the wire, {comm['blob_msgs']} "
+            f"blobs / {comm['blob_bytes']} B payload across "
+            f"{len(comm['batches'])} batches"
+        )
     return "\n".join(lines)
